@@ -1,0 +1,80 @@
+// Command calibrate runs a quick per-profile sweep across every LLC
+// design and prints the raw compression / MPKI / IPC numbers plus the
+// Thesaurus-internal statistics. It exists to tune the workload profiles
+// against the paper's published per-benchmark anchors and is kept in the
+// repository so the calibration recorded in EXPERIMENTS.md is
+// reproducible.
+//
+// Usage: calibrate [-n accesses] [profile ...]   (default: all profiles)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/thesaurus"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 600_000, "accesses per profile")
+	designs := flag.String("designs", "", "comma-separated design subset (default all)")
+	flag.Parse()
+
+	profiles := flag.Args()
+	if len(profiles) == 0 {
+		profiles = workload.Names()
+	}
+	ds := harness.Designs
+	if *designs != "" {
+		ds = splitComma(*designs)
+	}
+
+	opt := harness.DefaultRunOptions()
+	opt.Accesses = *n
+	for _, p := range profiles {
+		t0 := time.Now()
+		rec, err := harness.RecordProfile(p, opt.Accesses)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "record:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %-12s events=%d instr=%d apki=%.2f (rec %.1fs)\n",
+			p, len(rec.Events), rec.Instructions, rec.LLCAPKI(), time.Since(t0).Seconds())
+		for _, d := range ds {
+			t1 := time.Now()
+			res, c, err := harness.RunDesign(p, d, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "run:", err)
+				os.Exit(1)
+			}
+			extra := ""
+			if th, ok := c.(*thesaurus.Cache); ok {
+				e := th.Extra()
+				live, valid := th.BaseTable().ActiveClusters()
+				extra = fmt.Sprintf("  comp%%=%.1f diff=%.1fB bcache=%.3f fmt[raw,b+d,0+d,base,z]=%v fps=%d/%d",
+					100*e.CompressibleFraction(), e.AvgDiffBytes(), th.BaseCache().HitRate(), e.ByFormat, live, valid)
+			}
+			fmt.Printf("  %-12s CR=%5.2f occ=%.3f MPKI=%7.3f IPC=%.3f hit=%8d miss=%8d (%4.1fs)%s\n",
+				d, res.CompressionRatio, res.Occupancy, res.MPKI, res.IPC,
+				res.LLCStats.ReadHits, res.LLCStats.ReadMisses(), time.Since(t1).Seconds(), extra)
+		}
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

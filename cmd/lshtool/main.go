@@ -1,0 +1,87 @@
+// Command lshtool computes LSH fingerprints for cachelines and reports
+// cluster structure. Input is a binary file treated as consecutive
+// 64-byte lines (any file works; the tool is handy for exploring how the
+// hardware-friendly LSH of §4.3 clusters real data).
+//
+// Usage:
+//
+//	lshtool -bits 12 -in data.bin            # fingerprint + cluster stats
+//	lshtool -collisions                      # collision-rate table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/line"
+	"repro/internal/lsh"
+)
+
+func main() {
+	bits := flag.Int("bits", lsh.DefaultBits, "fingerprint width in bits")
+	nonzeros := flag.Int("nonzeros", lsh.DefaultNonZeros, "non-zero coefficients per row")
+	seed := flag.Uint64("seed", 0x7e5a0305, "projection matrix seed")
+	in := flag.String("in", "", "input file of 64-byte lines")
+	collisions := flag.Bool("collisions", false, "print the collision-rate vs distance table")
+	flag.Parse()
+
+	h, err := lsh.New(lsh.Config{Bits: *bits, NonZeros: *nonzeros, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+
+	if *collisions {
+		fmt.Printf("collision probability vs byte distance (%d-bit LSH, %d non-zeros/row)\n",
+			*bits, *nonzeros)
+		for _, d := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+			fmt.Printf("  diff=%2d bytes  P(same fingerprint)=%.3f\n",
+				d, h.CollisionRate(d, 4000, 42))
+		}
+		cost := h.Cost()
+		fmt.Printf("hardware: %d adders, %d comparators, %d-cycle latency\n",
+			cost.Adders, cost.Comparators, cost.LatencyCycles)
+		return
+	}
+
+	if *in == "" {
+		fail(fmt.Errorf("need -in <file> or -collisions"))
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fail(err)
+	}
+	counts := map[lsh.Fingerprint]int{}
+	var lines []line.Line
+	for off := 0; off+line.Size <= len(data); off += line.Size {
+		l := line.FromBytes(data[off : off+line.Size])
+		counts[h.Fingerprint(&l)]++
+		lines = append(lines, l)
+	}
+	fmt.Printf("%d lines, %d distinct fingerprints (of %d possible)\n",
+		len(lines), len(counts), h.NumFingerprints())
+	fmt.Printf("effective fingerprint entropy: %.2f of %d bits\n",
+		h.EffectiveEntropy(lines), h.Bits())
+	type kv struct {
+		fp lsh.Fingerprint
+		n  int
+	}
+	var top []kv
+	for fp, c := range counts {
+		top = append(top, kv{fp, c})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	fmt.Println("largest clusters:")
+	for _, t := range top {
+		fmt.Printf("  fp %#03x: %d lines\n", uint32(t.fp), t.n)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lshtool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,168 @@
+// Command thesaurus is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation from the simulator and the
+// synthetic SPEC CPU 2017 profiles.
+//
+// Usage:
+//
+//	thesaurus [flags] <experiment> [experiment ...]
+//
+// Experiments: fig1 fig2 fig5 fig13 fig14 fig15 fig16 fig17 fig18 fig19
+// fig20 table1 table2 table3 table4 summary ablate all
+//
+// Flags:
+//
+//	-n N          accesses per benchmark profile (default 2,000,000)
+//	-profiles csv comma-separated profile subset (default: all 22)
+//	-quick        reduced trace length for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", harness.DefaultAccesses, "accesses per benchmark profile")
+	profilesFlag := flag.String("profiles", "", "comma-separated profile subset")
+	quick := flag.Bool("quick", false, "reduced trace length (smoke run)")
+	flag.Parse()
+
+	opt := experiments.Default()
+	opt.Accesses = *n
+	if *quick {
+		opt = experiments.Quick()
+	}
+	if *profilesFlag != "" {
+		opt.Profiles = strings.Split(*profilesFlag, ",")
+		for _, p := range opt.Profiles {
+			if _, err := workload.ProfileByName(p); err != nil {
+				fail(err)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: thesaurus [flags] <experiment> [...]")
+		fmt.Fprintln(os.Stderr, "experiments: fig1 fig2 fig5 fig13 fig14 fig15 fig16 fig17 fig18 fig19 fig20")
+		fmt.Fprintln(os.Stderr, "             table1 table2 table3 table4 summary ablate all")
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		args = []string{"table1", "table2", "fig1", "fig2", "fig5", "fig13", "table3", "fig14",
+			"table4", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablate"}
+	}
+	for _, exp := range args {
+		t0 := time.Now()
+		out, err := run(exp, opt)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %.1fs]\n", exp, time.Since(t0).Seconds())
+	}
+}
+
+func run(exp string, opt experiments.Options) (string, error) {
+	switch exp {
+	case "summary":
+		r, err := experiments.Fig13(opt)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "\nHeadline comparison (geomeans over %d benchmarks)\n", len(r.Profiles))
+		fmt.Fprintf(&b, "%-14s %12s %12s %12s\n", "design", "compression", "MPKI (S)", "IPC (S)")
+		for _, d := range r.Designs {
+			fmt.Fprintf(&b, "%-14s %11.2fx %12.3f %12.3f\n",
+				d, r.GeomeanCR[d], r.GeomeanMPKIS[d], r.GeomeanIPCS[d])
+		}
+		return b.String(), nil
+	case "table1":
+		return experiments.Table1Report(), nil
+	case "table2":
+		return experiments.Table2Report(), nil
+	case "table3":
+		return experiments.Table3Report(), nil
+	case "table4":
+		return experiments.Table4Report(), nil
+	case "fig1":
+		r, err := experiments.Fig1(opt)
+		return reportOf(r, err)
+	case "fig2":
+		r, err := experiments.Fig2("mcf", opt)
+		return reportOf(r, err)
+	case "fig5":
+		r, err := experiments.Fig5(opt)
+		return reportOf(r, err)
+	case "fig13":
+		r, err := experiments.Fig13(opt)
+		return reportOf(r, err)
+	case "fig14":
+		r, err := experiments.Fig14(opt)
+		return reportOf(r, err)
+	case "fig15":
+		r, err := experiments.Fig15(opt)
+		return reportOf(r, err)
+	case "fig16":
+		r, err := experiments.Fig16(opt)
+		return reportOf(r, err)
+	case "fig17":
+		r, err := experiments.Fig17(opt)
+		return reportOf(r, err)
+	case "fig18":
+		r, err := experiments.Fig18(opt)
+		return reportOf(r, err)
+	case "fig19":
+		o := opt
+		o.Profiles = nil // Fig. 19 uses its own default selection
+		if len(opt.Profiles) > 0 {
+			o.Profiles = opt.Profiles
+		}
+		r, err := experiments.Fig19(o)
+		return reportOf(r, err)
+	case "fig20":
+		r, err := experiments.Fig20(opt)
+		return reportOf(r, err)
+	case "ablate":
+		var b strings.Builder
+		for _, f := range []func(experiments.Options) (*experiments.AblationResult, error){
+			experiments.AblateVictimCandidates,
+			experiments.AblateLSHBits,
+			experiments.AblateLSHSparsity,
+			experiments.AblateAdaptive,
+			experiments.AblateBaseCachePriority,
+		} {
+			r, err := f(opt)
+			if err != nil {
+				return "", err
+			}
+			b.WriteString(r.Report())
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// reporter is any experiment result that renders itself.
+type reporter interface{ Report() string }
+
+func reportOf(r reporter, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Report(), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "thesaurus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command tracegen generates a synthetic memory trace for a named SPEC
+// CPU 2017 profile and writes it to a file in the repository's binary
+// trace format (see internal/trace), so traces can be inspected, archived,
+// or replayed by external tools.
+//
+// Usage:
+//
+//	tracegen -profile mcf -n 1000000 -o mcf.trace
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	profile := flag.String("profile", "mcf", "workload profile name")
+	n := flag.Int("n", 1_000_000, "number of accesses to generate")
+	out := flag.String("o", "", "output file (default <profile>.trace)")
+	list := flag.Bool("list", false, "list available profiles and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.Profiles() {
+			kind := "insensitive"
+			if p.Sensitive {
+				kind = "sensitive"
+			}
+			fmt.Printf("%-12s %s, %d regions\n", p.Name, kind, len(p.Regions))
+		}
+		return
+	}
+
+	p, err := workload.ProfileByName(*profile)
+	if err != nil {
+		fail(err)
+	}
+	gen := p.Generate(*n)
+	accesses := trace.Collect(gen.Stream, *n)
+
+	path := *out
+	if path == "" {
+		path = *profile + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, accesses); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d accesses (%d instructions, %.1fMB working set) to %s\n",
+		len(accesses), trace.Instructions(accesses),
+		float64(gen.WorkingSetBytes())/(1<<20), path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Clustering: demonstrates the locality-sensitive hashing mechanism in
+// isolation — how similar cachelines collide into the same fingerprint
+// (becoming a compression cluster) while dissimilar lines spread out,
+// and what the hardware costs.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	h, err := repro.NewLSH(repro.DefaultLSHConfig())
+	if err != nil {
+		panic(err)
+	}
+
+	// A prototype line and three variants at increasing distances.
+	var proto repro.Line
+	for i := range proto {
+		proto[i] = byte(i * 13)
+	}
+	near := proto
+	near[5] += 3 // one byte nudged: same cluster almost surely
+	mid := proto
+	for i := 0; i < 12; i++ {
+		mid[i*5] += byte(i + 1)
+	}
+	var far repro.Line
+	for i := range far {
+		far[i] = byte(255 - i*11)
+	}
+
+	fmt.Println("fingerprints (12-bit):")
+	for _, c := range []struct {
+		name string
+		l    repro.Line
+	}{{"proto", proto}, {"near (1B diff)", near}, {"mid (12B diff)", mid}, {"far (64B diff)", far}} {
+		l := c.l
+		fmt.Printf("  %-15s fp=%#03x  diff-vs-proto=%dB\n",
+			c.name, uint32(h.Fingerprint(&l)), repro.DiffBytes(&l, &proto))
+	}
+
+	// Measured collision probability as a function of distance: the
+	// locality-sensitive property of §4.1.
+	fmt.Println("\ncollision probability vs byte distance:")
+	for _, d := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		fmt.Printf("  %2d differing bytes → P(same cluster) = %.3f\n",
+			d, h.CollisionRate(d, 3000, 1))
+	}
+
+	// What compression does a cluster hit buy? Encode the near variant
+	// against the prototype.
+	enc := repro.Encode(&near, &proto)
+	fmt.Printf("\nencoding near vs proto: format=%v, %d bytes (%d segments)\n",
+		enc.Format, enc.SizeBytes(), enc.Segments())
+	back, err := repro.Decode(enc, &proto)
+	if err != nil || back != near {
+		panic("round trip failed")
+	}
+	fmt.Println("decode round-trip: ok")
+
+	cost := h.Cost()
+	fmt.Printf("\nhardware cost: %d adders, %d comparators, %d cycle(s)\n",
+		cost.Adders, cost.Comparators, cost.LatencyCycles)
+}

@@ -1,0 +1,227 @@
+// Package bdi implements Base-Delta-Immediate compression (Pekhimenko et
+// al., PACT 2012), the state-of-the-art intra-cacheline baseline the paper
+// compares against (§2.2). A line is encoded as one base value plus
+// per-word deltas; each word may alternatively be encoded as a delta from
+// an implicit zero base (the "immediate" part), selected by a per-word
+// bit. Eight encodings are tried and the smallest valid one wins.
+package bdi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/line"
+)
+
+// Kind identifies one BΔI encoding.
+type Kind uint8
+
+// The BΔI encodings in the order they are tried (smallest first among
+// equal-coverage options, as in the original proposal).
+const (
+	KindUncompressed Kind = iota
+	KindZeros
+	KindRep // all 8-byte words identical
+	KindB8D1
+	KindB8D2
+	KindB8D4
+	KindB4D1
+	KindB4D2
+	KindB2D1
+)
+
+// String returns the conventional name of the encoding.
+func (k Kind) String() string {
+	switch k {
+	case KindUncompressed:
+		return "uncompressed"
+	case KindZeros:
+		return "zeros"
+	case KindRep:
+		return "rep"
+	case KindB8D1:
+		return "B8Δ1"
+	case KindB8D2:
+		return "B8Δ2"
+	case KindB8D4:
+		return "B8Δ4"
+	case KindB4D1:
+		return "B4Δ1"
+	case KindB4D2:
+		return "B4Δ2"
+	case KindB2D1:
+		return "B2Δ1"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// geometry of each encoding: word size, delta size, total compressed bytes.
+type geometry struct {
+	wordBytes  int
+	deltaBytes int
+	sizeBytes  int
+}
+
+var geometries = map[Kind]geometry{
+	KindZeros: {8, 0, 1},
+	KindRep:   {8, 0, 8},
+	KindB8D1:  {8, 1, 16},
+	KindB8D2:  {8, 2, 24},
+	KindB8D4:  {8, 4, 40},
+	KindB4D1:  {4, 1, 20},
+	KindB4D2:  {4, 2, 36},
+	KindB2D1:  {2, 1, 34},
+}
+
+// Encoded is a compressed line. Deltas[i] is the signed delta of word i
+// from its base; ZeroBase bit i set means word i uses the implicit zero
+// base instead of Base.
+type Encoded struct {
+	Kind     Kind
+	Base     uint64
+	Deltas   []int64
+	ZeroBase uint32
+	Raw      line.Line // only for KindUncompressed
+}
+
+// SizeBytes returns the compressed size in bytes (64 when uncompressed).
+func (e Encoded) SizeBytes() int {
+	if e.Kind == KindUncompressed {
+		return line.Size
+	}
+	return geometries[e.Kind].sizeBytes
+}
+
+// Compressed reports whether the encoding is smaller than a raw line.
+func (e Encoded) Compressed() bool { return e.Kind != KindUncompressed }
+
+// fitsSigned reports whether v fits in a two's-complement value of n bytes.
+func fitsSigned(v int64, n int) bool {
+	shift := uint(64 - 8*n)
+	return v<<shift>>shift == v
+}
+
+// wordsOf splits l into words of the given byte width (little-endian).
+func wordsOf(l *line.Line, wordBytes int) []uint64 {
+	n := line.Size / wordBytes
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		switch wordBytes {
+		case 8:
+			out[i] = binary.LittleEndian.Uint64(l[i*8:])
+		case 4:
+			out[i] = uint64(binary.LittleEndian.Uint32(l[i*4:]))
+		case 2:
+			out[i] = uint64(binary.LittleEndian.Uint16(l[i*2:]))
+		default:
+			panic("bdi: unsupported word size")
+		}
+	}
+	return out
+}
+
+// tryEncode attempts one base+delta geometry. Words representable as a
+// small delta from zero use the implicit zero base; the first word that is
+// not becomes the explicit base.
+func tryEncode(l *line.Line, k Kind) (Encoded, bool) {
+	g := geometries[k]
+	words := wordsOf(l, g.wordBytes)
+	e := Encoded{Kind: k, Deltas: make([]int64, len(words))}
+	haveBase := false
+	signBits := uint(g.wordBytes * 8)
+	for i, w := range words {
+		// Sign-extend the word itself for the zero-base test.
+		sw := int64(w << (64 - signBits) >> (64 - signBits))
+		if fitsSigned(sw, g.deltaBytes) {
+			e.ZeroBase |= 1 << uint(i)
+			e.Deltas[i] = sw
+			continue
+		}
+		if !haveBase {
+			e.Base = w
+			haveBase = true
+		}
+		d := int64(w) - int64(e.Base)
+		// Deltas are computed modulo the word width.
+		d = d << (64 - signBits) >> (64 - signBits)
+		if !fitsSigned(d, g.deltaBytes) {
+			return Encoded{}, false
+		}
+		e.Deltas[i] = d
+	}
+	return e, true
+}
+
+// Compress encodes l with the smallest valid BΔI encoding.
+func Compress(l *line.Line) Encoded {
+	if l.IsZero() {
+		return Encoded{Kind: KindZeros}
+	}
+	w := l.Words()
+	rep := true
+	for _, v := range w[1:] {
+		if v != w[0] {
+			rep = false
+			break
+		}
+	}
+	if rep {
+		return Encoded{Kind: KindRep, Base: w[0]}
+	}
+	best := Encoded{Kind: KindUncompressed, Raw: *l}
+	bestSize := line.Size
+	for _, k := range []Kind{KindB8D1, KindB8D2, KindB8D4, KindB4D1, KindB4D2, KindB2D1} {
+		if e, ok := tryEncode(l, k); ok && e.SizeBytes() < bestSize {
+			best, bestSize = e, e.SizeBytes()
+		}
+	}
+	return best
+}
+
+// Decompress reconstructs the original line from e.
+func Decompress(e Encoded) (line.Line, error) {
+	switch e.Kind {
+	case KindUncompressed:
+		return e.Raw, nil
+	case KindZeros:
+		return line.Zero, nil
+	case KindRep:
+		var w [line.WordsPerLine]uint64
+		for i := range w {
+			w[i] = e.Base
+		}
+		return line.FromWords(w), nil
+	}
+	g, ok := geometries[e.Kind]
+	if !ok {
+		return line.Zero, fmt.Errorf("bdi: unknown kind %d", e.Kind)
+	}
+	n := line.Size / g.wordBytes
+	if len(e.Deltas) != n {
+		return line.Zero, fmt.Errorf("bdi: %s expects %d deltas, got %d", e.Kind, n, len(e.Deltas))
+	}
+	var out line.Line
+	for i := 0; i < n; i++ {
+		base := e.Base
+		if e.ZeroBase&(1<<uint(i)) != 0 {
+			base = 0
+		}
+		v := base + uint64(e.Deltas[i])
+		switch g.wordBytes {
+		case 8:
+			binary.LittleEndian.PutUint64(out[i*8:], v)
+		case 4:
+			binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+		case 2:
+			binary.LittleEndian.PutUint16(out[i*2:], uint16(v))
+		}
+	}
+	return out, nil
+}
+
+// CompressedSize is a convenience returning just the BΔI size of l in
+// bytes; the cache model uses this on its hot path.
+func CompressedSize(l *line.Line) int {
+	return Compress(l).SizeBytes()
+}

@@ -1,0 +1,183 @@
+package bdi
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/line"
+	"repro/internal/xrand"
+)
+
+func TestRoundTripArbitrary(t *testing.T) {
+	if err := quick.Check(func(l line.Line) bool {
+		e := Compress(&l)
+		got, err := Decompress(e)
+		return err == nil && got == l
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeros(t *testing.T) {
+	e := Compress(&line.Zero)
+	if e.Kind != KindZeros || e.SizeBytes() != 1 {
+		t.Fatalf("zero line: %v, %dB", e.Kind, e.SizeBytes())
+	}
+}
+
+func TestRepeated(t *testing.T) {
+	var w [line.WordsPerLine]uint64
+	for i := range w {
+		w[i] = 0xDEADBEEFCAFEF00D
+	}
+	l := line.FromWords(w)
+	e := Compress(&l)
+	if e.Kind != KindRep || e.SizeBytes() != 8 {
+		t.Fatalf("repeated line: %v, %dB", e.Kind, e.SizeBytes())
+	}
+	got, err := Decompress(e)
+	if err != nil || got != l {
+		t.Fatal("rep round trip failed")
+	}
+}
+
+func TestB8D1(t *testing.T) {
+	var w [line.WordsPerLine]uint64
+	base := uint64(0x00002AAA12340000)
+	for i := range w {
+		w[i] = base + uint64(i*3)
+	}
+	l := line.FromWords(w)
+	e := Compress(&l)
+	if e.Kind != KindB8D1 || e.SizeBytes() != 16 {
+		t.Fatalf("near-base words: %v, %dB", e.Kind, e.SizeBytes())
+	}
+}
+
+func TestB8D1WithZeroBaseWords(t *testing.T) {
+	// Mixing small immediates with base-relative words is the "I" in BΔI.
+	var w [line.WordsPerLine]uint64
+	base := uint64(0x00002AAA12340000)
+	for i := range w {
+		if i%2 == 0 {
+			w[i] = uint64(i) // small: implicit zero base
+		} else {
+			w[i] = base + uint64(i)
+		}
+	}
+	l := line.FromWords(w)
+	e := Compress(&l)
+	if e.Kind != KindB8D1 {
+		t.Fatalf("kind = %v, want B8Δ1", e.Kind)
+	}
+	got, err := Decompress(e)
+	if err != nil || got != l {
+		t.Fatal("zero-base mixing round trip failed")
+	}
+}
+
+func TestB4D1(t *testing.T) {
+	var l line.Line
+	base := uint32(0x10000)
+	for i := 0; i < line.Size/4; i++ {
+		binary.LittleEndian.PutUint32(l[i*4:], base+uint32(i)*7)
+	}
+	e := Compress(&l)
+	// B8Δ4 would be 40B; B4Δ1 is 20B and must win.
+	if e.Kind != KindB4D1 || e.SizeBytes() != 20 {
+		t.Fatalf("4-byte near values: %v, %dB", e.Kind, e.SizeBytes())
+	}
+}
+
+func TestB2D1(t *testing.T) {
+	var l line.Line
+	for i := 0; i < line.Size/2; i++ {
+		binary.LittleEndian.PutUint16(l[i*2:], 0x4000+uint16(i%30))
+	}
+	e := Compress(&l)
+	if !e.Compressed() {
+		t.Fatalf("2-byte near values did not compress: %v", e.Kind)
+	}
+	got, err := Decompress(e)
+	if err != nil || got != l {
+		t.Fatal("B2Δ1 round trip failed")
+	}
+}
+
+func TestIncompressibleRandom(t *testing.T) {
+	rng := xrand.New(1)
+	var l line.Line
+	for i := range l {
+		l[i] = byte(rng.Uint32())
+	}
+	e := Compress(&l)
+	if e.Kind != KindUncompressed || e.SizeBytes() != line.Size {
+		t.Fatalf("random line compressed as %v", e.Kind)
+	}
+}
+
+func TestNegativeDeltas(t *testing.T) {
+	var w [line.WordsPerLine]uint64
+	base := uint64(0x7000000000000000)
+	for i := range w {
+		w[i] = base - uint64(i*100) // negative deltas from base
+	}
+	l := line.FromWords(w)
+	e := Compress(&l)
+	if !e.Compressed() {
+		t.Fatal("negative deltas did not compress")
+	}
+	got, err := Decompress(e)
+	if err != nil || got != l {
+		t.Fatal("negative delta round trip failed")
+	}
+}
+
+func TestSizeTable(t *testing.T) {
+	// The canonical BΔI sizes.
+	want := map[Kind]int{
+		KindZeros: 1, KindRep: 8, KindB8D1: 16, KindB8D2: 24,
+		KindB8D4: 40, KindB4D1: 20, KindB4D2: 36, KindB2D1: 34,
+	}
+	for k, sz := range want {
+		if geometries[k].sizeBytes != sz {
+			t.Errorf("%v size %d, want %d", k, geometries[k].sizeBytes, sz)
+		}
+	}
+}
+
+func TestCompressedSizeNeverLarger(t *testing.T) {
+	if err := quick.Check(func(l line.Line) bool {
+		return CompressedSize(&l) <= line.Size
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	if _, err := Decompress(Encoded{Kind: Kind(99)}); err == nil {
+		t.Fatal("unknown kind decompressed")
+	}
+	if _, err := Decompress(Encoded{Kind: KindB8D1, Deltas: []int64{1}}); err == nil {
+		t.Fatal("short deltas decompressed")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindB8D1.String() != "B8Δ1" || KindZeros.String() != "zeros" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	var w [line.WordsPerLine]uint64
+	for i := range w {
+		w[i] = 0x00002AAA12340000 + uint64(i*3)
+	}
+	l := line.FromWords(w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Compress(&l)
+	}
+}

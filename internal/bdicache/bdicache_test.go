@@ -1,0 +1,179 @@
+package bdicache
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+func smallConfig() Config {
+	return Config{Sets: 8, TagWays: 16, DataWays: 8}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Sets: 0, TagWays: 16, DataWays: 8},
+		{Sets: 8, TagWays: 0, DataWays: 8},
+		{Sets: 8, TagWays: 12, DataWays: 8}, // not a power of two
+		{Sets: 8, TagWays: 16, DataWays: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("bad config %+v accepted", bad)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(1)
+	ref := map[line.Addr]line.Line{}
+	for i := 0; i < 8000; i++ {
+		addr := line.Addr(rng.Intn(256)) * line.Size
+		if rng.Bool(0.4) {
+			var l line.Line
+			switch rng.Intn(3) {
+			case 0: // BΔI-friendly
+				base := rng.Uint64n(1 << 40)
+				for j := 0; j < 8; j++ {
+					l.SetWord(j, base+rng.Uint64n(100))
+				}
+			case 1: // random
+				for j := 0; j < 8; j++ {
+					l.SetWord(j, rng.Uint64())
+				}
+			case 2: // zero-ish
+			}
+			c.Write(addr, l)
+			ref[addr] = l
+			mem.Poke(addr, l)
+		} else {
+			got, _ := c.Read(addr)
+			want, ok := ref[addr]
+			if !ok {
+				want = mem.Peek(addr)
+			}
+			if got != want {
+				t.Fatalf("step %d: wrong data", i)
+			}
+		}
+		if i%1000 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFriendlyContentCompresses(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	for i := 0; i < 60; i++ {
+		var l line.Line
+		base := uint64(0x1000000)
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, base+uint64(i*8+j))
+		}
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	fp := c.Footprint()
+	if r := fp.CompressionRatio(); r < 2 {
+		t.Fatalf("friendly content only %.2fx", r)
+	}
+	if c.Extra().Compressed == 0 {
+		t.Fatal("no compressed insertions recorded")
+	}
+}
+
+func TestRandomContentStaysRaw(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(2)
+	for i := 0; i < 40; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	fp := c.Footprint()
+	if r := fp.CompressionRatio(); r > 1.05 {
+		t.Fatalf("random content compressed %.2fx", r)
+	}
+}
+
+func TestDoubledTagsExploitCompression(t *testing.T) {
+	// With fully compressible (zero) lines, the cache should hold more
+	// lines than its uncompressed capacity.
+	mem := memory.NewStore()
+	cfg := smallConfig() // 8 sets × 8 data ways = 64-line uncompressed capacity
+	c := MustNew(cfg, mem)
+	for i := 0; i < 128; i++ {
+		c.Read(line.Addr(i) * line.Size) // zero fills
+	}
+	fp := c.Footprint()
+	if fp.ResidentLines <= 64 {
+		t.Fatalf("resident %d, want > uncompressed capacity 64", fp.ResidentLines)
+	}
+}
+
+func TestWriteChangesSize(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	c.Write(0, line.Zero) // 1 segment
+	used1 := c.Footprint().DataBytesUsed
+	var big line.Line
+	rng := xrand.New(3)
+	for j := 0; j < 8; j++ {
+		big.SetWord(j, rng.Uint64())
+	}
+	c.Write(0, big) // 8 segments
+	used2 := c.Footprint().DataBytesUsed
+	if used2 <= used1 {
+		t.Fatalf("grow not reflected: %d → %d", used1, used2)
+	}
+	if got, _ := c.Read(0); got != big {
+		t.Fatal("data lost on size change")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceEvictions(t *testing.T) {
+	mem := memory.NewStore()
+	cfg := Config{Sets: 1, TagWays: 16, DataWays: 8}
+	c := MustNew(cfg, mem)
+	rng := xrand.New(4)
+	// Fill one set with raw lines beyond its 64-segment budget.
+	for i := 0; i < 32; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		c.Write(line.Addr(i)*line.Size, l)
+	}
+	if c.Extra().SpaceEvictions == 0 {
+		t.Fatal("no space evictions under raw overload")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressionCycles(t *testing.T) {
+	c := MustNew(smallConfig(), memory.NewStore())
+	if c.DecompressionCycles() != 1 {
+		t.Fatal("BΔI decompression latency")
+	}
+}

@@ -1,0 +1,212 @@
+package dedupcache
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/llc"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+func smallConfig() Config {
+	return Config{TagEntries: 256, TagWays: 8, DataEntries: 96, HashEntries: 128}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{TagEntries: 0, TagWays: 8, DataEntries: 10, HashEntries: 10},
+		{TagEntries: 100, TagWays: 8, DataEntries: 10, HashEntries: 10},
+		{TagEntries: 64, TagWays: 8, DataEntries: 0, HashEntries: 10},
+		{TagEntries: 64, TagWays: 8, DataEntries: 10, HashEntries: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("bad config %+v accepted", bad)
+		}
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(1)
+	ref := map[line.Addr]line.Line{}
+	for i := 0; i < 5000; i++ {
+		addr := line.Addr(rng.Intn(512)) * line.Size
+		if rng.Bool(0.4) {
+			var l line.Line
+			// Half the writes reuse a small value pool: duplicates.
+			if rng.Bool(0.5) {
+				l.SetWord(0, uint64(rng.Intn(4)))
+			} else {
+				for j := 0; j < 8; j++ {
+					l.SetWord(j, rng.Uint64())
+				}
+			}
+			c.Write(addr, l)
+			ref[addr] = l
+			mem.Poke(addr, l)
+		} else {
+			got, _ := c.Read(addr)
+			want, ok := ref[addr]
+			if !ok {
+				want = mem.Peek(addr)
+			}
+			if got != want {
+				t.Fatalf("step %d: wrong data for %#x", i, uint64(addr))
+			}
+		}
+		if i%500 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeduplicationHappens(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	var l line.Line
+	l.SetWord(0, 0xABCD)
+	// 40 addresses, one shared value.
+	for i := 0; i < 40; i++ {
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	fp := c.Footprint()
+	if fp.ResidentLines != 40 {
+		t.Fatalf("resident %d", fp.ResidentLines)
+	}
+	if fp.DataBytesUsed != line.Size {
+		t.Fatalf("40 identical lines use %d data bytes, want one block", fp.DataBytesUsed)
+	}
+	if c.Extra().Deduped != 39 {
+		t.Fatalf("deduped %d, want 39", c.Extra().Deduped)
+	}
+	if r := fp.CompressionRatio(); r != 40 {
+		t.Fatalf("compression %v", r)
+	}
+}
+
+func TestCopyOnWriteUnshares(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	var l line.Line
+	l.SetWord(0, 7)
+	mem.Poke(0, l)
+	mem.Poke(64, l)
+	c.Read(0)
+	c.Read(64) // shares the block
+	var l2 line.Line
+	l2.SetWord(0, 8)
+	c.Write(0, l2)
+	// The other sharer must still read the old value.
+	got, hit := c.Read(64)
+	if !hit || got != l {
+		t.Fatalf("sharer corrupted: hit=%v", hit)
+	}
+	got, _ = c.Read(0)
+	if got != l2 {
+		t.Fatal("write lost")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueContentDoesNotDedup(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(3)
+	for i := 0; i < 50; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	if d := c.Extra().Deduped; d != 0 {
+		t.Fatalf("unique content deduped %d times", d)
+	}
+	fp := c.Footprint()
+	if fp.DataBytesUsed != 50*line.Size {
+		t.Fatalf("data bytes %d", fp.DataBytesUsed)
+	}
+}
+
+func TestDataPressureEvictsTagLists(t *testing.T) {
+	// More unique lines than data entries: the clock must evict blocks
+	// and their tags without corrupting anything.
+	mem := memory.NewStore()
+	cfg := smallConfig()
+	cfg.DataEntries = 16
+	c := MustNew(cfg, mem)
+	rng := xrand.New(4)
+	for i := 0; i < 2000; i++ {
+		addr := line.Addr(rng.Intn(64)) * line.Size
+		var l line.Line
+		l.SetWord(0, rng.Uint64())
+		c.Write(addr, l)
+		mem.Poke(addr, l)
+		got, _ := c.Read(addr)
+		if got != l {
+			t.Fatalf("step %d: corruption", i)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Extra().ListEvictions == 0 {
+		t.Fatal("no data-pressure evictions under overload")
+	}
+}
+
+func TestDirtyWritebackOnEviction(t *testing.T) {
+	mem := memory.NewStore()
+	cfg := smallConfig()
+	cfg.TagEntries = 16
+	cfg.TagWays = 8
+	cfg.DataEntries = 8
+	c := MustNew(cfg, mem)
+	var l line.Line
+	l.SetWord(0, 42)
+	c.Write(0, l) // dirty, write-allocate
+	rng := xrand.New(5)
+	// Force eviction via pressure.
+	for i := 1; i < 64; i++ {
+		var x line.Line
+		x.SetWord(0, rng.Uint64())
+		c.Write(line.Addr(i)*line.Size, x)
+	}
+	if mem.Peek(0) != l && func() bool { got, _ := c.Read(0); return got != l }() {
+		t.Fatal("dirty data lost (neither cached nor written back)")
+	}
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("no writebacks recorded")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	c.Read(0)
+	c.Read(0)
+	s := c.Stats()
+	if s.Reads != 2 || s.ReadHits != 1 || s.Fills != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	c.ResetStats()
+	if c.Stats().Reads != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+var _ llc.Cache = (*Cache)(nil)

@@ -1,0 +1,249 @@
+// Package diffenc implements the Thesaurus compression formats (§5.1):
+//
+//   - base+diff: a 64-bit mask naming the bytes that differ from the
+//     cluster base, followed by the differing bytes (Fig. 7);
+//   - 0+diff: the same encoding against an implicit all-zero base;
+//   - base-only: the line equals its cluster base, no data entry needed;
+//   - all-zero: the line is zero, identified in the tag entry alone;
+//   - raw: uncompressed, used when compression is ineffective.
+//
+// Sizes are accounted in 8-byte data-array segments, matching the decoupled
+// data array of §5.2.2.
+package diffenc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/line"
+)
+
+// SegmentBytes is the data-array allocation granule (§5.2.2).
+const SegmentBytes = 8
+
+// SegmentsPerLine is the number of segments an uncompressed line occupies.
+const SegmentsPerLine = line.Size / SegmentBytes
+
+// Format identifies one of the Thesaurus data encodings.
+type Format uint8
+
+// The five encodings of §5.1. AllZero and BaseOnly occupy no data-array
+// space; the remainder occupy Segments() segments.
+const (
+	FormatRaw Format = iota
+	FormatBaseDiff
+	FormatZeroDiff
+	FormatBaseOnly
+	FormatAllZero
+	// FormatIntra marks a line compressed intra-line (BΔI) instead of
+	// against a cluster base — the 2DCC-style second dimension, used only
+	// when the cache enables the IntraLineFallback extension. The encoded
+	// entry keeps the full line (behavioural model) and accounts the
+	// intra-compressed size.
+	FormatIntra
+
+	// NumFormats is the number of encoding formats.
+	NumFormats
+)
+
+// String returns the abbreviation used in the paper's Figure 17.
+func (f Format) String() string {
+	switch f {
+	case FormatRaw:
+		return "RAW"
+	case FormatBaseDiff:
+		return "B+D"
+	case FormatZeroDiff:
+		return "0+D"
+	case FormatBaseOnly:
+		return "BASE"
+	case FormatAllZero:
+		return "Z"
+	case FormatIntra:
+		return "INTRA"
+	default:
+		return fmt.Sprintf("Format(%d)", uint8(f))
+	}
+}
+
+// Compressed reports whether the format is smaller than a raw line.
+func (f Format) Compressed() bool { return f != FormatRaw }
+
+// Encoded is one compressed (or raw) data-array entry. For FormatBaseDiff
+// and FormatZeroDiff, Mask bit i set means byte i differs and the next
+// delta byte replaces it; Deltas lists the differing bytes in ascending
+// byte-position order. For FormatRaw, Raw holds the full line. For
+// FormatBaseOnly and FormatAllZero, all fields are zero.
+type Encoded struct {
+	Format Format
+	Mask   uint64
+	Deltas []byte
+	Raw    line.Line
+	// IntraBytes is the accounted compressed size for FormatIntra
+	// entries (the line itself is carried in Raw).
+	IntraBytes int
+}
+
+// NewIntra wraps an intra-line-compressed line: the behavioural model
+// keeps the decoded bytes and accounts sizeBytes of data-array space.
+func NewIntra(l line.Line, sizeBytes int) Encoded {
+	if sizeBytes <= 0 || sizeBytes > line.Size {
+		panic(fmt.Sprintf("diffenc: intra size %d out of range", sizeBytes))
+	}
+	return Encoded{Format: FormatIntra, Raw: l, IntraBytes: sizeBytes}
+}
+
+// DiffSizeBytes returns the data-array footprint in bytes of a diff with n
+// differing bytes: the 64-bit mask plus the deltas.
+func DiffSizeBytes(n int) int { return 8 + n }
+
+// diffSegments returns the segment count for a diff with n differing bytes.
+func diffSegments(n int) int {
+	return (DiffSizeBytes(n) + SegmentBytes - 1) / SegmentBytes
+}
+
+// maxCompressibleDiff is the largest diff-byte count for which base+diff
+// is strictly smaller than a raw line: 8 (mask) + n < 64 requires n <= 55,
+// and the segment-granular allocation further requires segments < 8.
+func maxCompressibleDiff() int {
+	for n := line.Size; n >= 0; n-- {
+		if diffSegments(n) < SegmentsPerLine {
+			return n
+		}
+	}
+	return 0
+}
+
+// MaxCompressibleDiffBytes is the largest byte-diff that still compresses:
+// mask (8B) + deltas must round to fewer than 8 segments, i.e. at most
+// 48 differing bytes. Computed from the segment math so the two can never
+// drift apart.
+var MaxCompressibleDiffBytes = maxCompressibleDiff()
+
+// Encode compresses l against base, choosing the smallest applicable
+// encoding. base may be nil when the line's cluster has no clusteroid yet
+// (then only all-zero, 0+diff, and raw are candidates). Encode never
+// returns FormatBaseOnly for a nil base.
+func Encode(l, base *line.Line) Encoded {
+	if l.IsZero() {
+		return Encoded{Format: FormatAllZero}
+	}
+	best := Encoded{Format: FormatRaw, Raw: *l}
+	bestSeg := SegmentsPerLine
+	// base+diff is evaluated first so it wins segment-count ties against
+	// 0+diff: staying in the cluster keeps the clusteroid referenced and
+	// avoids re-forming it later.
+	if base != nil {
+		if l.Equal(base) {
+			return Encoded{Format: FormatBaseOnly}
+		}
+		baseDiff := line.DiffBytes(l, base)
+		if s := diffSegments(baseDiff); s < bestSeg {
+			best = encodeDiff(FormatBaseDiff, l, base)
+			bestSeg = s
+		}
+	}
+	zeroDiff := l.PopCountNonZero()
+	if s := diffSegments(zeroDiff); s < bestSeg {
+		best = encodeDiff(FormatZeroDiff, l, &line.Zero)
+		bestSeg = s
+	}
+	return best
+}
+
+// encodeDiff builds the mask+deltas representation of l against ref.
+func encodeDiff(f Format, l, ref *line.Line) Encoded {
+	e := Encoded{Format: f, Mask: line.DiffMask(l, ref)}
+	n := bits.OnesCount64(e.Mask)
+	e.Deltas = make([]byte, 0, n)
+	for i := 0; i < line.Size; i++ {
+		if e.Mask&(1<<uint(i)) != 0 {
+			e.Deltas = append(e.Deltas, l[i])
+		}
+	}
+	return e
+}
+
+// Decode reconstructs the original line. base must be the cluster base for
+// FormatBaseDiff and FormatBaseOnly and is ignored otherwise. It returns
+// an error if a needed base is missing or the encoding is malformed.
+func Decode(e Encoded, base *line.Line) (line.Line, error) {
+	switch e.Format {
+	case FormatAllZero:
+		return line.Zero, nil
+	case FormatRaw, FormatIntra:
+		return e.Raw, nil
+	case FormatBaseOnly:
+		if base == nil {
+			return line.Zero, fmt.Errorf("diffenc: base-only entry without base")
+		}
+		return *base, nil
+	case FormatBaseDiff:
+		if base == nil {
+			return line.Zero, fmt.Errorf("diffenc: base+diff entry without base")
+		}
+		return applyDiff(base, e.Mask, e.Deltas)
+	case FormatZeroDiff:
+		return applyDiff(&line.Zero, e.Mask, e.Deltas)
+	default:
+		return line.Zero, fmt.Errorf("diffenc: unknown format %d", e.Format)
+	}
+}
+
+// applyDiff overlays the delta bytes named by mask onto ref (Fig. 7 right).
+func applyDiff(ref *line.Line, mask uint64, deltas []byte) (line.Line, error) {
+	if bits.OnesCount64(mask) != len(deltas) {
+		return line.Zero, fmt.Errorf("diffenc: mask names %d bytes but %d deltas present",
+			bits.OnesCount64(mask), len(deltas))
+	}
+	out := *ref
+	j := 0
+	for i := 0; i < line.Size; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out[i] = deltas[j]
+			j++
+		}
+	}
+	return out, nil
+}
+
+// SizeBytes returns the data-array footprint in bytes (before segment
+// rounding). AllZero and BaseOnly entries live entirely in the tag entry.
+func (e Encoded) SizeBytes() int {
+	switch e.Format {
+	case FormatAllZero, FormatBaseOnly:
+		return 0
+	case FormatRaw:
+		return line.Size
+	case FormatIntra:
+		return e.IntraBytes
+	default:
+		return DiffSizeBytes(len(e.Deltas))
+	}
+}
+
+// Segments returns the number of 8-byte data-array segments the entry
+// occupies after rounding (0 for AllZero/BaseOnly, 8 for raw).
+func (e Encoded) Segments() int {
+	switch e.Format {
+	case FormatAllZero, FormatBaseOnly:
+		return 0
+	case FormatRaw:
+		return SegmentsPerLine
+	case FormatIntra:
+		return (e.IntraBytes + SegmentBytes - 1) / SegmentBytes
+	default:
+		return diffSegments(len(e.Deltas))
+	}
+}
+
+// DiffBytes returns the number of differing bytes encoded (0 for non-diff
+// formats); this feeds the Figure 18/19 statistics.
+func (e Encoded) DiffBytes() int {
+	switch e.Format {
+	case FormatBaseDiff, FormatZeroDiff:
+		return len(e.Deltas)
+	default:
+		return 0
+	}
+}

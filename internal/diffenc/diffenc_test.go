@@ -1,0 +1,221 @@
+package diffenc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/line"
+	"repro/internal/xrand"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	if err := quick.Check(func(l, base line.Line) bool {
+		enc := Encode(&l, &base)
+		got, err := Decode(enc, &base)
+		return err == nil && got == l
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeNilBase(t *testing.T) {
+	if err := quick.Check(func(l line.Line) bool {
+		enc := Encode(&l, nil)
+		if enc.Format == FormatBaseDiff || enc.Format == FormatBaseOnly {
+			return false // cannot reference a base that does not exist
+		}
+		got, err := Decode(enc, nil)
+		return err == nil && got == l
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllZeroEncoding(t *testing.T) {
+	enc := Encode(&line.Zero, nil)
+	if enc.Format != FormatAllZero || enc.Segments() != 0 || enc.SizeBytes() != 0 {
+		t.Fatalf("zero line encoded as %+v", enc)
+	}
+}
+
+func TestBaseOnlyEncoding(t *testing.T) {
+	var l line.Line
+	l[3] = 9
+	enc := Encode(&l, &l)
+	if enc.Format != FormatBaseOnly || enc.Segments() != 0 {
+		t.Fatalf("identical line encoded as %v", enc.Format)
+	}
+	got, err := Decode(enc, &l)
+	if err != nil || got != l {
+		t.Fatal("base-only decode failed")
+	}
+}
+
+func TestBaseDiffSmall(t *testing.T) {
+	var base line.Line
+	for i := range base {
+		base[i] = byte(i)
+	}
+	l := base
+	l[10] ^= 0xFF
+	l[50] ^= 0x0F
+	enc := Encode(&l, &base)
+	if enc.Format != FormatBaseDiff {
+		t.Fatalf("format = %v", enc.Format)
+	}
+	if enc.DiffBytes() != 2 {
+		t.Fatalf("DiffBytes = %d", enc.DiffBytes())
+	}
+	if enc.SizeBytes() != 10 { // 8B mask + 2 deltas
+		t.Fatalf("SizeBytes = %d", enc.SizeBytes())
+	}
+	if enc.Segments() != 2 {
+		t.Fatalf("Segments = %d", enc.Segments())
+	}
+}
+
+func TestZeroDiffPreferredForSparseLines(t *testing.T) {
+	var l line.Line
+	l[0], l[1] = 5, 6
+	var base line.Line
+	for i := range base {
+		base[i] = 0xAA // terrible base: 64-byte diff
+	}
+	enc := Encode(&l, &base)
+	if enc.Format != FormatZeroDiff {
+		t.Fatalf("format = %v, want 0+D", enc.Format)
+	}
+}
+
+func TestBaseDiffWinsTies(t *testing.T) {
+	// Equal segment counts must prefer base+diff (keeps the cluster
+	// referenced).
+	var base line.Line
+	base[0] = 1
+	l := base
+	l[1] = 2 // diff vs base: 1 byte; diff vs zero: 2 bytes — both 2 segs
+	enc := Encode(&l, &base)
+	if enc.Format != FormatBaseDiff {
+		t.Fatalf("tie broken to %v, want B+D", enc.Format)
+	}
+}
+
+func TestRawFallback(t *testing.T) {
+	rng := xrand.New(5)
+	var l, base line.Line
+	for i := range l {
+		l[i] = byte(rng.Uint32())
+		base[i] = byte(rng.Uint32())
+	}
+	// Random lines differ nearly everywhere and are dense: raw.
+	enc := Encode(&l, &base)
+	if enc.Format != FormatRaw {
+		t.Fatalf("format = %v, want raw", enc.Format)
+	}
+	if enc.Segments() != SegmentsPerLine || enc.SizeBytes() != line.Size {
+		t.Fatalf("raw geometry: %d segs, %d bytes", enc.Segments(), enc.SizeBytes())
+	}
+}
+
+func TestMaxCompressibleDiffBytes(t *testing.T) {
+	// The constant must be exactly the boundary of the segment math.
+	if diffSegments(MaxCompressibleDiffBytes) >= SegmentsPerLine {
+		t.Fatalf("MaxCompressibleDiffBytes=%d does not compress", MaxCompressibleDiffBytes)
+	}
+	if diffSegments(MaxCompressibleDiffBytes+1) < SegmentsPerLine {
+		t.Fatalf("MaxCompressibleDiffBytes=%d is not maximal", MaxCompressibleDiffBytes)
+	}
+	if MaxCompressibleDiffBytes != 48 {
+		t.Fatalf("MaxCompressibleDiffBytes = %d, want 48 (8B mask + 48B in 7 segments)",
+			MaxCompressibleDiffBytes)
+	}
+}
+
+func TestEncodingIsMinimal(t *testing.T) {
+	// Whatever Encode picks must be no larger than every alternative.
+	if err := quick.Check(func(l, base line.Line) bool {
+		enc := Encode(&l, &base)
+		segs := enc.Segments()
+		if l.IsZero() || l == base {
+			return segs == 0
+		}
+		alternatives := []int{
+			SegmentsPerLine, // raw
+			diffSegments(l.PopCountNonZero()),
+			diffSegments(line.DiffBytes(&l, &base)),
+		}
+		for _, a := range alternatives {
+			if a < segs {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(Encoded{Format: FormatBaseDiff}, nil); err == nil {
+		t.Fatal("base+diff without base decoded")
+	}
+	if _, err := Decode(Encoded{Format: FormatBaseOnly}, nil); err == nil {
+		t.Fatal("base-only without base decoded")
+	}
+	if _, err := Decode(Encoded{Format: FormatZeroDiff, Mask: 3, Deltas: []byte{1}}, nil); err == nil {
+		t.Fatal("mask/delta mismatch decoded")
+	}
+	if _, err := Decode(Encoded{Format: Format(99)}, nil); err == nil {
+		t.Fatal("unknown format decoded")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	cases := map[Format]string{
+		FormatRaw: "RAW", FormatBaseDiff: "B+D", FormatZeroDiff: "0+D",
+		FormatBaseOnly: "BASE", FormatAllZero: "Z",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+		}
+	}
+	if !FormatBaseDiff.Compressed() || FormatRaw.Compressed() {
+		t.Fatal("Compressed() wrong")
+	}
+}
+
+func TestDiffSizeBytes(t *testing.T) {
+	if DiffSizeBytes(0) != 8 || DiffSizeBytes(10) != 18 {
+		t.Fatal("DiffSizeBytes math wrong")
+	}
+}
+
+func BenchmarkEncodeNearDuplicate(b *testing.B) {
+	var base line.Line
+	for i := range base {
+		base[i] = byte(i)
+	}
+	l := base
+	l[7], l[33] = 0xAB, 0xCD
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(&l, &base)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	var base line.Line
+	for i := range base {
+		base[i] = byte(i)
+	}
+	l := base
+	l[7], l[33] = 0xAB, 0xCD
+	enc := Encode(&l, &base)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc, &base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

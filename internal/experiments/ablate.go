@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/thesaurus"
+)
+
+// AblationPoint is one configuration of a design-choice sweep.
+type AblationPoint struct {
+	Label     string
+	GeomeanCR float64
+	GeomeanNM float64 // normalized MPKI geomean over all profiles
+}
+
+// AblationResult is one sweep.
+type AblationResult struct {
+	Name   string
+	Points []AblationPoint
+}
+
+// Report renders the sweep.
+func (r *AblationResult) Report() string {
+	t := report.NewTable(fmt.Sprintf("Ablation: %s", r.Name), "config", "geomean CR", "geomean norm. MPKI")
+	for _, p := range r.Points {
+		t.AddRowf(p.Label, fmt.Sprintf("%.3fx", p.GeomeanCR), fmt.Sprintf("%.3f", p.GeomeanNM))
+	}
+	return t.String()
+}
+
+// sweep runs a set of Thesaurus configurations over the profiles.
+func sweep(name string, opt Options, configs []struct {
+	label string
+	cfg   thesaurus.Config
+}) (*AblationResult, error) {
+	res := &AblationResult{Name: name}
+	// Baseline MPKI for normalization.
+	base := map[string]float64{}
+	for _, p := range opt.profiles() {
+		out, err := harness.Run(p, "Baseline", opt.run())
+		if err != nil {
+			return nil, err
+		}
+		base[p] = out.Res.MPKI
+	}
+	for _, c := range configs {
+		ro := opt.run()
+		cfg := c.cfg
+		ro.Thesaurus = &cfg
+		var crs, nms []float64
+		for _, p := range opt.profiles() {
+			out, err := harness.Run(p, "Thesaurus", ro)
+			if err != nil {
+				return nil, err
+			}
+			crs = append(crs, out.Res.CompressionRatio)
+			if base[p] > 0 {
+				nms = append(nms, out.Res.MPKI/base[p])
+			} else {
+				nms = append(nms, 1)
+			}
+		}
+		res.Points = append(res.Points, AblationPoint{
+			Label:     c.label,
+			GeomeanCR: geomean(crs),
+			GeomeanNM: geomean(nms),
+		})
+	}
+	return res, nil
+}
+
+// AblateVictimCandidates sweeps the best-of-n data-victim policy
+// (§5.4.3; the paper uses n=4).
+func AblateVictimCandidates(opt Options) (*AblationResult, error) {
+	var cfgs []struct {
+		label string
+		cfg   thesaurus.Config
+	}
+	for _, n := range []int{1, 2, 4, 8} {
+		cfg := thesaurus.DefaultConfig()
+		cfg.VictimCandidates = n
+		cfgs = append(cfgs, struct {
+			label string
+			cfg   thesaurus.Config
+		}{fmt.Sprintf("best-of-%d", n), cfg})
+	}
+	return sweep("data-victim set candidates (best-of-n)", opt, cfgs)
+}
+
+// AblateLSHBits sweeps the fingerprint width (§6.1 sweeps 8-24 bits and
+// settles on 12).
+func AblateLSHBits(opt Options) (*AblationResult, error) {
+	var cfgs []struct {
+		label string
+		cfg   thesaurus.Config
+	}
+	for _, bits := range []int{8, 10, 12, 16, 20, 24} {
+		cfg := thesaurus.DefaultConfig()
+		cfg.LSH.Bits = bits
+		cfgs = append(cfgs, struct {
+			label string
+			cfg   thesaurus.Config
+		}{fmt.Sprintf("%d-bit LSH", bits), cfg})
+	}
+	return sweep("LSH fingerprint width", opt, cfgs)
+}
+
+// AblateAdaptive compares the paper's evaluated configuration against the
+// §6.1/§6.3 extension that detects cache-insensitive phases and disables
+// compression for them (saving the compression machinery's energy without
+// giving up the sensitive-workload gains).
+func AblateAdaptive(opt Options) (*AblationResult, error) {
+	off := thesaurus.DefaultConfig()
+	on := thesaurus.DefaultConfig()
+	on.AdaptiveEpoch = 50_000
+	return sweep("adaptive compression disable (§6.1 extension)", opt, []struct {
+		label string
+		cfg   thesaurus.Config
+	}{
+		{"always-on (paper)", off},
+		{"adaptive", on},
+	})
+}
+
+// AblateBaseCachePriority compares plain pseudo-LRU base-cache management
+// (the paper's description) against this implementation's default of
+// installing insertion-path fills at victim priority (scan resistance —
+// see thesaurus.BaseCache.Access).
+func AblateBaseCachePriority(opt Options) (*AblationResult, error) {
+	plain := thesaurus.DefaultConfig()
+	plain.BaseCachePlainLRU = true
+	scan := thesaurus.DefaultConfig()
+	return sweep("base cache fill priority", opt, []struct {
+		label string
+		cfg   thesaurus.Config
+	}{
+		{"plain pseudo-LRU (paper)", plain},
+		{"victim-priority insert fills", scan},
+	})
+}
+
+// AblateLSHSparsity sweeps the non-zeros per projection row (the
+// very-sparse-projection knob of §4.3).
+func AblateLSHSparsity(opt Options) (*AblationResult, error) {
+	var cfgs []struct {
+		label string
+		cfg   thesaurus.Config
+	}
+	for _, nz := range []int{2, 4, 6, 10, 16} {
+		cfg := thesaurus.DefaultConfig()
+		cfg.LSH.NonZeros = nz
+		cfgs = append(cfgs, struct {
+			label string
+			cfg   thesaurus.Config
+		}{fmt.Sprintf("%d non-zeros/row", nz), cfg})
+	}
+	return sweep("LSH projection sparsity", opt, cfgs)
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/diffenc"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/thesaurus"
+)
+
+// thesaurusExtras ensures the Thesaurus runs exist and returns the
+// per-profile internals (Figs. 15-19 all read these).
+func thesaurusExtras(opt Options) (*Fig13Result, error) {
+	// Fig13 is memoized at the harness level, so this costs one Thesaurus
+	// run per profile even when several figures are produced.
+	return Fig13(opt)
+}
+
+// Fig15Result: fraction of insertions compressible vs their clusteroid.
+type Fig15Result struct {
+	Profiles []string
+	Fracs    []float64
+	Average  float64
+}
+
+// Fig15 reproduces the compressible-insertions figure (paper avg: 87%).
+func Fig15(opt Options) (*Fig15Result, error) {
+	f, err := thesaurusExtras(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig15Result{Profiles: f.Profiles}
+	sum := 0.0
+	for _, p := range f.Profiles {
+		frac := f.ThesaurusExtras[p].Compressible
+		res.Fracs = append(res.Fracs, frac)
+		sum += frac
+	}
+	if len(res.Fracs) > 0 {
+		res.Average = sum / float64(len(res.Fracs))
+	}
+	return res, nil
+}
+
+// Report renders Figure 15.
+func (r *Fig15Result) Report() string {
+	c := report.NewBarChart("Figure 15: % of insertions compressible vs their clusteroid", "%")
+	for i, p := range r.Profiles {
+		c.Add(p, 100*r.Fracs[i])
+	}
+	c.Add("Average", 100*r.Average)
+	return c.String()
+}
+
+// Fig16Result: base-table cluster-size distribution.
+type Fig16Result struct {
+	Profiles []string
+	Fracs    [][4]float64 // <10, <50, <500, 500+
+	Average  [4]float64
+}
+
+// Fig16 reproduces the cluster-size distribution figure.
+func Fig16(opt Options) (*Fig16Result, error) {
+	f, err := thesaurusExtras(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig16Result{Profiles: f.Profiles}
+	for _, p := range f.Profiles {
+		fr := f.ThesaurusExtras[p].ClusterFracs
+		res.Fracs = append(res.Fracs, fr)
+		for i := range res.Average {
+			res.Average[i] += fr[i] / float64(len(f.Profiles))
+		}
+	}
+	return res, nil
+}
+
+// Report renders Figure 16.
+func (r *Fig16Result) Report() string {
+	t := report.NewTable("Figure 16: distribution of cluster sizes (% of base-table entries)",
+		"benchmark", "<10", "<50", "<500", "500+")
+	pct := func(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+	for i, p := range r.Profiles {
+		t.AddRowf(p, pct(r.Fracs[i][0]), pct(r.Fracs[i][1]), pct(r.Fracs[i][2]), pct(r.Fracs[i][3]))
+	}
+	t.AddRowf("Average", pct(r.Average[0]), pct(r.Average[1]), pct(r.Average[2]), pct(r.Average[3]))
+	return t.String()
+}
+
+// Fig17Result: encoding mix per benchmark.
+type Fig17Result struct {
+	Profiles []string
+	Fracs    [][diffenc.NumFormats]float64 // indexed by diffenc.Format
+	Average  [diffenc.NumFormats]float64
+}
+
+// Fig17 reproduces the encoding-frequency figure.
+func Fig17(opt Options) (*Fig17Result, error) {
+	f, err := thesaurusExtras(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig17Result{Profiles: f.Profiles}
+	for _, p := range f.Profiles {
+		fr := f.ThesaurusExtras[p].FormatFracs
+		res.Fracs = append(res.Fracs, fr)
+		for i := range res.Average {
+			res.Average[i] += fr[i] / float64(len(f.Profiles))
+		}
+	}
+	return res, nil
+}
+
+// Report renders Figure 17.
+func (r *Fig17Result) Report() string {
+	t := report.NewTable("Figure 17: frequency of compression encodings (% of placements)",
+		"benchmark", "B+D", "0+D", "Z", "BASE", "RAW", "INTRA")
+	pct := func(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+	row := func(name string, f [diffenc.NumFormats]float64) {
+		t.AddRowf(name,
+			pct(f[diffenc.FormatBaseDiff]), pct(f[diffenc.FormatZeroDiff]),
+			pct(f[diffenc.FormatAllZero]), pct(f[diffenc.FormatBaseOnly]),
+			pct(f[diffenc.FormatRaw]), pct(f[diffenc.FormatIntra]))
+	}
+	for i, p := range r.Profiles {
+		row(p, r.Fracs[i])
+	}
+	row("Average", r.Average)
+	return t.String()
+}
+
+// Fig18Result: average diff size per benchmark.
+type Fig18Result struct {
+	Profiles []string
+	Bytes    []float64
+	Average  float64
+}
+
+// Fig18 reproduces the average-diff-size figure.
+func Fig18(opt Options) (*Fig18Result, error) {
+	f, err := thesaurusExtras(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig18Result{Profiles: f.Profiles}
+	sum := 0.0
+	for _, p := range f.Profiles {
+		d := f.ThesaurusExtras[p].AvgDiffBytes
+		res.Bytes = append(res.Bytes, d)
+		sum += d
+	}
+	if len(res.Bytes) > 0 {
+		res.Average = sum / float64(len(res.Bytes))
+	}
+	return res, nil
+}
+
+// Report renders Figure 18.
+func (r *Fig18Result) Report() string {
+	c := report.NewBarChart("Figure 18: average byte-difference size (base+diff and 0+diff)", "B")
+	for i, p := range r.Profiles {
+		c.Add(p, r.Bytes[i])
+	}
+	c.Add("Average", r.Average)
+	return c.String()
+}
+
+// Fig19Result: diff size over time for selected workloads.
+type Fig19Result struct {
+	Profiles []string
+	Series   map[string][]float64
+}
+
+// Fig19Profiles is the paper's selection for the over-time figure.
+var Fig19Profiles = []string{"bwaves", "cam4", "mcf", "xalancbmk"}
+
+// Fig19 reproduces the diff-size-over-time figure.
+func Fig19(opt Options) (*Fig19Result, error) {
+	if len(opt.Profiles) == 0 {
+		opt.Profiles = Fig19Profiles
+	}
+	f, err := thesaurusExtras(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig19Result{Profiles: f.Profiles, Series: map[string][]float64{}}
+	for _, p := range f.Profiles {
+		res.Series[p] = f.ThesaurusExtras[p].DiffSeries
+	}
+	return res, nil
+}
+
+// Report renders Figure 19 as sparklines (0..64 bytes scale).
+func (r *Fig19Result) Report() string {
+	out := "\nFigure 19: diff size over time (each point = one averaging window, scale 0-64B)\n"
+	out += "==============================================================================\n"
+	for _, p := range r.Profiles {
+		s := r.Series[p]
+		mean := stats.Mean(s)
+		// Bound the sparkline width.
+		if len(s) > 120 {
+			step := len(s) / 120
+			var ds []float64
+			for i := 0; i < len(s); i += step {
+				ds = append(ds, s[i])
+			}
+			s = ds
+		}
+		out += fmt.Sprintf("%-10s mean=%5.1fB |%s|\n", p, mean, report.Sparkline(s, 64))
+	}
+	return out
+}
+
+// Fig20Row is one base-cache size point.
+type Fig20Row struct {
+	Entries     int
+	HitRate     float64
+	StorageKB   float64
+	GeomeanCR   float64
+	AvgHitRates map[string]float64
+}
+
+// Fig20Result: base-cache size sweep.
+type Fig20Result struct {
+	Rows []Fig20Row
+}
+
+// Fig20 sweeps the base-cache size from 32 to 2048 entries and reports
+// the average hit rate and storage cost (paper: 512 entries → ~94.8%).
+func Fig20(opt Options) (*Fig20Result, error) {
+	res := &Fig20Result{}
+	for _, entries := range []int{32, 128, 512, 1024, 2048} {
+		cfg := thesaurus.DefaultConfig()
+		cfg.BaseCacheWays = 8
+		cfg.BaseCacheSets = entries / cfg.BaseCacheWays
+		if cfg.BaseCacheSets < 1 {
+			cfg.BaseCacheSets = 1
+			cfg.BaseCacheWays = entries
+		}
+		ro := opt.run()
+		ro.Thesaurus = &cfg
+		row := Fig20Row{Entries: entries, AvgHitRates: map[string]float64{}}
+		var hits, crs []float64
+		for _, p := range opt.profiles() {
+			out, err := harness.Run(p, "Thesaurus", ro)
+			if err != nil {
+				return nil, err
+			}
+			th := out.Cache.(*thesaurus.Cache)
+			hr := th.BaseCache().HitRate()
+			row.AvgHitRates[p] = hr
+			hits = append(hits, hr)
+			crs = append(crs, out.Res.CompressionRatio)
+			row.StorageKB = float64(th.BaseCache().StorageBytes()) / 1024
+		}
+		row.HitRate = stats.Mean(hits)
+		row.GeomeanCR = geomean(crs)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Report renders Figure 20.
+func (r *Fig20Result) Report() string {
+	t := report.NewTable("Figure 20: base cache hit rate and storage cost vs size",
+		"entries", "avg hit rate", "storage (KB)", "geomean CR")
+	for _, row := range r.Rows {
+		t.AddRowf(fmt.Sprintf("%d", row.Entries), fmt.Sprintf("%.1f%%", 100*row.HitRate),
+			fmt.Sprintf("%.0f", row.StorageKB), fmt.Sprintf("%.2fx", row.GeomeanCR))
+	}
+	return t.String()
+}

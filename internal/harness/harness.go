@@ -1,0 +1,272 @@
+// Package harness wires workload profiles, the hierarchy simulator, and
+// the LLC designs into runnable experiments. Both the cmd/thesaurus CLI
+// and the repository's benchmarks drive experiments through this package
+// so every figure and table is regenerated from one code path.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bdicache"
+	"repro/internal/dedupcache"
+	"repro/internal/ideal"
+	"repro/internal/llc"
+	"repro/internal/memory"
+	"repro/internal/sim"
+	"repro/internal/thesaurus"
+	"repro/internal/uncomp"
+	"repro/internal/workload"
+)
+
+// Design names accepted by BuildLLC, in report order.
+var Designs = []string{"Baseline", "Dedup", "BDI", "Thesaurus", "Ideal", "2x Baseline"}
+
+// BuildLLC constructs the named LLC design over a fresh backing store and
+// returns both. All compressed designs are sized iso-silicon with the 1MB
+// baseline (Table 2).
+func BuildLLC(design string) (llc.Cache, *memory.Store, error) {
+	mem := memory.NewStore()
+	switch design {
+	case "Baseline":
+		return uncomp.New("Baseline", uncomp.DefaultConfig(), mem), mem, nil
+	case "2x Baseline":
+		cfg := uncomp.DefaultConfig()
+		cfg.SizeBytes *= 2
+		return uncomp.New("2x Baseline", cfg, mem), mem, nil
+	case "BDI":
+		c, err := bdicache.New(bdicache.DefaultConfig(), mem)
+		return c, mem, err
+	case "Dedup":
+		c, err := dedupcache.New(dedupcache.DefaultConfig(), mem)
+		return c, mem, err
+	case "Thesaurus":
+		c, err := thesaurus.New(thesaurus.DefaultConfig(), mem)
+		return c, mem, err
+	case "Ideal":
+		return ideal.New(ideal.DefaultConfig(), mem), mem, nil
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown design %q", design)
+	}
+}
+
+// DefaultAccesses is the trace length for full experiment runs; tests and
+// quick runs use smaller values.
+const DefaultAccesses = 2_000_000
+
+// recordedCache memoizes the L1/L2-filtered event stream per (profile,
+// accesses): it is identical for every design, so computing it once per
+// benchmark removes the dominant cost of multi-design experiments.
+var recordedCache sync.Map // key string → *sim.Recorded
+
+// RecordProfile generates the named profile's trace and filters it
+// through the private cache levels, memoizing the result.
+func RecordProfile(name string, accesses int) (*sim.Recorded, error) {
+	key := fmt.Sprintf("%s/%d", name, accesses)
+	if v, ok := recordedCache.Load(key); ok {
+		return v.(*sim.Recorded), nil
+	}
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	gen := p.Generate(accesses)
+	rec := sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image)
+	recordedCache.Store(key, rec)
+	return rec, nil
+}
+
+// RunOptions configures a design × benchmark run.
+type RunOptions struct {
+	Accesses int
+	Replay   sim.ReplayOptions
+	// Thesaurus, when non-nil, overrides the Thesaurus configuration
+	// (used by the sweeps and ablations).
+	Thesaurus *thesaurus.Config
+}
+
+// DefaultRunOptions returns full-experiment defaults.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Accesses: DefaultAccesses, Replay: sim.DefaultReplayOptions()}
+}
+
+// RunOutput bundles a completed design × benchmark run: the metrics, the
+// cache instance (for design-specific statistics), and, for Thesaurus,
+// the time-averaged base-table cluster-size distribution (Fig. 16).
+type RunOutput struct {
+	Res          sim.Result
+	Cache        llc.Cache
+	ClusterFracs [4]float64
+}
+
+// runCache memoizes completed runs so the per-figure experiments can
+// share them (the whole evaluation reuses one Thesaurus run per profile).
+var runCache sync.Map // key string → *RunOutput
+
+// Run replays profile into design with memoization. Thesaurus runs also
+// collect the Fig. 16 cluster-size samples and the Fig. 19 diff series.
+func Run(profile, design string, opt RunOptions) (*RunOutput, error) {
+	// Custom-configuration runs (sweeps, ablations) are not memoized:
+	// at full scale they would pin hundreds of cache instances in memory
+	// for results that are read exactly once.
+	memoize := opt.Thesaurus == nil
+	key := fmt.Sprintf("%s/%s/%d", profile, design, opt.Accesses)
+	if memoize {
+		if v, ok := runCache.Load(key); ok {
+			return v.(*RunOutput), nil
+		}
+	}
+	rec, err := RecordProfile(profile, opt.Accesses)
+	if err != nil {
+		return nil, err
+	}
+	var c llc.Cache
+	var st *memory.Store
+	if design == "Thesaurus" {
+		cfg := thesaurus.DefaultConfig()
+		if opt.Thesaurus != nil {
+			cfg = *opt.Thesaurus
+		}
+		if cfg.DiffSeriesWindow == 0 {
+			cfg.DiffSeriesWindow = 512
+		}
+		st = memory.NewStore()
+		c, err = thesaurus.New(cfg, st)
+	} else {
+		c, st, err = BuildLLC(design)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutput{}
+	ropt := opt.Replay
+	if th, ok := c.(*thesaurus.Cache); ok {
+		samples, taken := 0, 0
+		var fracs [4]float64
+		ropt.OnSample = func(llc.Cache) {
+			// Sampling the whole base table every footprint sample is too
+			// slow; every 16th suffices for a stable Fig. 16 average.
+			if samples%16 == 0 {
+				f := th.BaseTable().ClusterSizes()
+				taken++
+				for i := range fracs {
+					fracs[i] += f[i]
+					out.ClusterFracs[i] = fracs[i] / float64(taken)
+				}
+			}
+			samples++
+		}
+	}
+	res, err := sim.Replay(c, rec, st, sim.DefaultSystem(), ropt)
+	if err != nil {
+		return nil, err
+	}
+	out.Res = res
+	out.Cache = c
+	// The backing store's content map is only needed during replay; the
+	// statistics the experiments read survive a release. This keeps long
+	// campaigns (one store per design × profile) within memory.
+	st.Release()
+	if memoize {
+		runCache.Store(key, out)
+	}
+	return out, nil
+}
+
+// RunDesign replays the named profile into the named design and returns
+// the metrics. The cache instance is also returned for design-specific
+// statistics (Figs. 15-20 read the Thesaurus extras). Results are
+// memoized via Run.
+func RunDesign(profile, design string, opt RunOptions) (sim.Result, llc.Cache, error) {
+	out, err := Run(profile, design, opt)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	return out.Res, out.Cache, nil
+}
+
+// RunAll runs every design over one profile.
+func RunAll(profile string, designs []string, opt RunOptions) (map[string]sim.Result, error) {
+	out := make(map[string]sim.Result, len(designs))
+	for _, d := range designs {
+		res, _, err := RunDesign(profile, d, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", profile, d, err)
+		}
+		out[d] = res
+	}
+	return out, nil
+}
+
+// RunKey names one (profile, design) cell of an experiment matrix.
+type RunKey struct {
+	Profile string
+	Design  string
+}
+
+// RunMatrix executes every (profile, design) pair concurrently, bounded
+// by GOMAXPROCS workers. Runs are independent and deterministic, so
+// parallelism changes wall time only; results are memoized exactly as in
+// Run. The first error aborts the remaining work.
+func RunMatrix(keys []RunKey, opt RunOptions) (map[RunKey]*RunOutput, error) {
+	type job struct {
+		key RunKey
+		out *RunOutput
+		err error
+	}
+	// Pre-record every distinct profile serially: recording is memoized
+	// but not deduplicated under concurrency, and it is the single
+	// biggest allocation; doing it once up front avoids duplicate work.
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if !seen[k.Profile] {
+			seen[k.Profile] = true
+			if _, err := RecordProfile(k.Profile, opt.Accesses); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(keys) {
+		workers = len(keys)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	in := make(chan RunKey)
+	results := make(chan job, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range in {
+				out, err := Run(k.Profile, k.Design, opt)
+				results <- job{key: k, out: out, err: err}
+			}
+		}()
+	}
+	go func() {
+		for _, k := range keys {
+			in <- k
+		}
+		close(in)
+		wg.Wait()
+		close(results)
+	}()
+
+	got := make(map[RunKey]*RunOutput, len(keys))
+	var firstErr error
+	for j := range results {
+		if j.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("%s/%s: %w", j.key.Profile, j.key.Design, j.err)
+		}
+		got[j.key] = j.out
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return got, nil
+}

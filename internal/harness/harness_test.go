@@ -1,0 +1,128 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/thesaurus"
+)
+
+func quickOpt() RunOptions {
+	opt := DefaultRunOptions()
+	opt.Accesses = 60_000
+	return opt
+}
+
+func TestBuildAllDesigns(t *testing.T) {
+	for _, d := range Designs {
+		c, mem, err := BuildLLC(d)
+		if err != nil || c == nil || mem == nil {
+			t.Fatalf("BuildLLC(%s): %v", d, err)
+		}
+	}
+	if _, _, err := BuildLLC("nonsense"); err == nil {
+		t.Fatal("unknown design built")
+	}
+}
+
+func TestRecordProfileMemoized(t *testing.T) {
+	a, err := RecordProfile("exchange2", 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecordProfile("exchange2", 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("recording not memoized")
+	}
+	if _, err := RecordProfile("nosuch", 1000); err == nil {
+		t.Fatal("unknown profile recorded")
+	}
+}
+
+func TestRunMemoizedAndConsistent(t *testing.T) {
+	opt := quickOpt()
+	o1, err := Run("exchange2", "Thesaurus", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Run("exchange2", "Thesaurus", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatal("run not memoized")
+	}
+	if o1.Res.Design != "Thesaurus" {
+		t.Fatalf("design %q", o1.Res.Design)
+	}
+	if _, ok := o1.Cache.(*thesaurus.Cache); !ok {
+		t.Fatalf("cache type %T", o1.Cache)
+	}
+}
+
+func TestRunCustomThesaurusConfigNotShared(t *testing.T) {
+	opt := quickOpt()
+	base, err := Run("exchange2", "Thesaurus", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := thesaurus.DefaultConfig()
+	cfg.LSH.Bits = 8
+	opt2 := opt
+	opt2.Thesaurus = &cfg
+	custom, err := Run("exchange2", "Thesaurus", opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == custom {
+		t.Fatal("custom config collided with default in the cache")
+	}
+	th := custom.Cache.(*thesaurus.Cache)
+	if th.Config().LSH.Bits != 8 {
+		t.Fatalf("custom config not applied: %d bits", th.Config().LSH.Bits)
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	keys := []RunKey{
+		{Profile: "exchange2", Design: "Baseline"},
+		{Profile: "exchange2", Design: "Thesaurus"},
+		{Profile: "leela", Design: "Baseline"},
+	}
+	got, err := RunMatrix(keys, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d results", len(got))
+	}
+	for _, k := range keys {
+		out := got[k]
+		if out == nil || out.Res.Design != k.Design {
+			t.Fatalf("missing or mislabelled result for %+v", k)
+		}
+	}
+	// Matrix results agree with direct runs (memoization shares them).
+	direct, err := Run("exchange2", "Baseline", quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[keys[0]] != direct {
+		t.Fatal("matrix and direct runs diverge")
+	}
+	if _, err := RunMatrix([]RunKey{{Profile: "nope", Design: "Baseline"}}, quickOpt()); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	res, err := RunAll("exchange2", []string{"Baseline", "Thesaurus"}, quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res["Baseline"].Design != "Baseline" {
+		t.Fatalf("results %+v", res)
+	}
+}

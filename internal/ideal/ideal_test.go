@@ -1,0 +1,174 @@
+package ideal
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+func TestDedupSnapshotIdenticalLines(t *testing.T) {
+	var l line.Line
+	l.SetWord(0, 5)
+	lines := []line.Line{l, l, l, l}
+	if f := DedupSnapshot(lines); f != 4 {
+		t.Fatalf("4 identical lines: factor %v", f)
+	}
+}
+
+func TestDedupSnapshotUniqueLines(t *testing.T) {
+	rng := xrand.New(1)
+	var lines []line.Line
+	for i := 0; i < 20; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		lines = append(lines, l)
+	}
+	if f := DedupSnapshot(lines); f != 1 {
+		t.Fatalf("unique lines: factor %v", f)
+	}
+}
+
+func TestDedupSnapshotZerosAreFree(t *testing.T) {
+	var l line.Line
+	l.SetWord(0, 9)
+	lines := []line.Line{{}, {}, {}, l}
+	if f := DedupSnapshot(lines); f != 4 {
+		t.Fatalf("3 zeros + 1 unique: factor %v", f)
+	}
+}
+
+func TestDiffSnapshotNearDuplicates(t *testing.T) {
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i + 1)
+	}
+	var lines []line.Line
+	for i := 0; i < 32; i++ {
+		l := proto
+		l[i%8] ^= byte(i + 1)
+		lines = append(lines, l)
+	}
+	f := DiffSnapshot(lines)
+	// One raw line + 31 diffs of ~9-10 bytes each: factor ≈ 64×32/(64+31×10).
+	if f < 3 {
+		t.Fatalf("near-duplicates: factor %v", f)
+	}
+}
+
+func TestDiffSnapshotRandomLines(t *testing.T) {
+	rng := xrand.New(2)
+	var lines []line.Line
+	for i := 0; i < 32; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		lines = append(lines, l)
+	}
+	f := DiffSnapshot(lines)
+	if f > 1.2 {
+		t.Fatalf("random lines compressed %vx", f)
+	}
+}
+
+func TestDiffCDF(t *testing.T) {
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i + 3)
+	}
+	lines := []line.Line{proto, proto}
+	l := proto
+	l[0] ^= 1
+	l[1] ^= 1
+	lines = append(lines, l)
+	cdf := DiffCDF(lines)
+	// Two exact duplicates at distance 0; the third at distance 2.
+	if cdf[0] < 2.0/3-1e-9 {
+		t.Fatalf("cdf[0] = %v", cdf[0])
+	}
+	if cdf[2] != 1 || cdf[64] != 1 {
+		t.Fatalf("cdf tail: %v %v", cdf[2], cdf[64])
+	}
+	// Monotone.
+	for i := 1; i <= 64; i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Fatalf("cdf not monotone at %d", i)
+		}
+	}
+}
+
+func smallCacheConfig() Config {
+	return Config{TagEntries: 128, TagWays: 8, DataBytes: 2048, Seed: 1}
+}
+
+func TestIdealCacheRoundTrip(t *testing.T) {
+	mem := memory.NewStore()
+	c := New(smallCacheConfig(), mem)
+	rng := xrand.New(3)
+	ref := map[line.Addr]line.Line{}
+	for i := 0; i < 4000; i++ {
+		addr := line.Addr(rng.Intn(256)) * line.Size
+		if rng.Bool(0.3) {
+			var l line.Line
+			l.SetWord(0, rng.Uint64n(16))
+			c.Write(addr, l)
+			ref[addr] = l
+			mem.Poke(addr, l)
+		} else {
+			got, _ := c.Read(addr)
+			want, ok := ref[addr]
+			if !ok {
+				want = mem.Peek(addr)
+			}
+			if got != want {
+				t.Fatalf("step %d: wrong data", i)
+			}
+		}
+	}
+}
+
+func TestIdealCacheBudgetRespected(t *testing.T) {
+	mem := memory.NewStore()
+	cfg := smallCacheConfig()
+	c := New(cfg, mem)
+	rng := xrand.New(4)
+	for i := 0; i < 3000; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		c.Write(line.Addr(i)*line.Size, l)
+		if fp := c.Footprint(); fp.DataBytesUsed > cfg.DataBytes {
+			t.Fatalf("budget exceeded: %+v", fp)
+		}
+	}
+}
+
+func TestIdealCacheCompressesSimilarLines(t *testing.T) {
+	mem := memory.NewStore()
+	c := New(smallCacheConfig(), mem)
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i * 5)
+	}
+	for i := 0; i < 64; i++ {
+		l := proto
+		l[0] = byte(i)
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	fp := c.Footprint()
+	if r := fp.CompressionRatio(); r < 3 {
+		t.Fatalf("ideal compressed only %.2fx", r)
+	}
+}
+
+func TestDiffSnapshotEmpty(t *testing.T) {
+	if DiffSnapshot(nil) != 1 || DedupSnapshot(nil) != 1 {
+		t.Fatal("empty snapshot factors")
+	}
+}

@@ -1,0 +1,274 @@
+// Package lsh implements the hardware-friendly locality-sensitive hashing
+// scheme of Thesaurus (§4): a sparse random projection with entries drawn
+// from {-1, 0, +1} followed by sign quantization of each projected
+// component. Cachelines whose byte values are close in l1 distance receive
+// the same fingerprint with high probability; the fingerprint is the
+// cluster ID used by the compressed cache.
+//
+// The projection is "very sparse" in the sense of Li, Hastie & Church
+// (KDD 2006): only a handful of non-zero coefficients per row, so the
+// hardware realization is an adder tree and a comparator per row (Fig. 6,
+// right) rather than a multiplier array.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/line"
+	"repro/internal/xrand"
+)
+
+// Fingerprint is an LSH cluster ID: the low Config.Bits bits are valid.
+type Fingerprint uint32
+
+// MaxBits is the widest supported fingerprint. The paper sweeps 8-24 bits
+// and settles on 12 (§6.1).
+const MaxBits = 24
+
+// DefaultBits is the fingerprint width used in the paper's evaluation.
+const DefaultBits = 12
+
+// DefaultNonZeros is the number of non-zero projection coefficients per
+// row. Following the very-sparse-projection result, log2(d) non-zeros for
+// d = 64 dimensions preserves locality at negligible accuracy loss.
+const DefaultNonZeros = 6
+
+// Config parameterizes a Hasher.
+type Config struct {
+	// Bits is the fingerprint width (number of hash functions / matrix
+	// rows). Must be in [1, MaxBits].
+	Bits int
+	// NonZeros is the count of non-zero coefficients per row. Must be in
+	// [1, line.Size].
+	NonZeros int
+	// Seed determines the random projection matrix.
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used in the paper's main
+// evaluation: 12-bit fingerprints with 6 non-zeros per row.
+func DefaultConfig() Config {
+	return Config{Bits: DefaultBits, NonZeros: DefaultNonZeros, Seed: 0x7e5a0305}
+}
+
+// Validate reports whether cfg is usable.
+func (cfg Config) Validate() error {
+	if cfg.Bits < 1 || cfg.Bits > MaxBits {
+		return fmt.Errorf("lsh: Bits must be in [1,%d], got %d", MaxBits, cfg.Bits)
+	}
+	if cfg.NonZeros < 1 || cfg.NonZeros > line.Size {
+		return fmt.Errorf("lsh: NonZeros must be in [1,%d], got %d", line.Size, cfg.NonZeros)
+	}
+	return nil
+}
+
+// row holds one hash function: the byte positions with +1 and -1 weights.
+type row struct {
+	plus  []uint8
+	minus []uint8
+}
+
+// Hasher computes LSH fingerprints of cachelines. It is safe for
+// concurrent use after construction (all state is read-only).
+type Hasher struct {
+	cfg  Config
+	rows []row
+}
+
+// New builds a Hasher from cfg. The projection matrix is derived
+// deterministically from cfg.Seed.
+func New(cfg Config) (*Hasher, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	h := &Hasher{cfg: cfg, rows: make([]row, cfg.Bits)}
+	for i := range h.rows {
+		perm := rng.Perm(line.Size)
+		r := &h.rows[i]
+		for j := 0; j < cfg.NonZeros; j++ {
+			col := uint8(perm[j])
+			if rng.Bool(0.5) {
+				r.plus = append(r.plus, col)
+			} else {
+				r.minus = append(r.minus, col)
+			}
+		}
+	}
+	return h, nil
+}
+
+// MustNew is New but panics on configuration errors; for use with known
+// constant configurations.
+func MustNew(cfg Config) *Hasher {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the configuration the hasher was built with.
+func (h *Hasher) Config() Config { return h.cfg }
+
+// Bits returns the fingerprint width in bits.
+func (h *Hasher) Bits() int { return h.cfg.Bits }
+
+// NumFingerprints returns the size of the fingerprint space (2^Bits),
+// which is also the number of base-table entries (§5.2.3).
+func (h *Hasher) NumFingerprints() int { return 1 << uint(h.cfg.Bits) }
+
+// Fingerprint computes the LSH fingerprint of l: for each row, the signed
+// sum of the selected bytes is reduced to one bit (1 if positive).
+//
+// Bytes enter the sum as signed (two's-complement) values. This centering
+// matters: with unsigned bytes, any row whose +1 and −1 counts are
+// unbalanced carries a fixed bias of ±128·Δ that swamps the content and
+// freezes the bit, collapsing the fingerprint entropy. Centering costs a
+// single XOR of the top bit per operand in hardware.
+func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
+	var fp Fingerprint
+	for i := range h.rows {
+		r := &h.rows[i]
+		sum := 0
+		for _, c := range r.plus {
+			sum += int(int8(l[c]))
+		}
+		for _, c := range r.minus {
+			sum -= int(int8(l[c]))
+		}
+		if sum > 0 {
+			fp |= 1 << uint(i)
+		}
+	}
+	return fp
+}
+
+// Project returns the raw signed projection vector (before sign
+// quantization); exposed for analysis and tests.
+func (h *Hasher) Project(l *line.Line) []int {
+	out := make([]int, len(h.rows))
+	for i := range h.rows {
+		r := &h.rows[i]
+		sum := 0
+		for _, c := range r.plus {
+			sum += int(int8(l[c]))
+		}
+		for _, c := range r.minus {
+			sum -= int(int8(l[c]))
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// HammingFP returns the Hamming distance between two fingerprints over the
+// hasher's bit width.
+func (h *Hasher) HammingFP(a, b Fingerprint) int {
+	mask := uint32(1)<<uint(h.cfg.Bits) - 1
+	return bits.OnesCount32((uint32(a) ^ uint32(b)) & mask)
+}
+
+// HardwareCost describes the synthesized-logic footprint of the hasher in
+// the style of the paper's Table 4 discussion: one adder tree per row plus
+// a sign comparator.
+type HardwareCost struct {
+	Adders        int // two-input adders across all rows
+	Comparators   int // one per fingerprint bit
+	LatencyCycles int // pipeline depth at the 2.66GHz design point
+}
+
+// Cost returns the hardware cost model for the hasher. A balanced adder
+// tree over k inputs uses k-1 adders and ceil(log2(k)) levels; at the
+// paper's design point the whole computation fits in one cycle for the
+// default configuration.
+func (h *Hasher) Cost() HardwareCost {
+	addersPerRow := h.cfg.NonZeros - 1
+	if addersPerRow < 0 {
+		addersPerRow = 0
+	}
+	levels := bits.Len(uint(h.cfg.NonZeros - 1))
+	latency := 1
+	if levels > 3 {
+		latency = 2 // deeper trees need a second pipeline stage
+	}
+	return HardwareCost{
+		Adders:        addersPerRow * h.cfg.Bits,
+		Comparators:   h.cfg.Bits,
+		LatencyCycles: latency,
+	}
+}
+
+// BitBias reports, for each fingerprint bit, the fraction of the given
+// lines for which the bit is 1. Bits pinned near 0 or 1 carry no
+// clustering information; the companion EffectiveEntropy aggregates this
+// into one number. These diagnostics exposed the unsigned-byte bias
+// documented in DESIGN.md §4.7.
+func (h *Hasher) BitBias(lines []line.Line) []float64 {
+	ones := make([]int, h.cfg.Bits)
+	for i := range lines {
+		fp := h.Fingerprint(&lines[i])
+		for b := 0; b < h.cfg.Bits; b++ {
+			if fp&(1<<uint(b)) != 0 {
+				ones[b]++
+			}
+		}
+	}
+	out := make([]float64, h.cfg.Bits)
+	if len(lines) == 0 {
+		return out
+	}
+	for b := range out {
+		out[b] = float64(ones[b]) / float64(len(lines))
+	}
+	return out
+}
+
+// EffectiveEntropy returns the sum of per-bit binary entropies over the
+// given lines, in bits: an upper bound on the fingerprint information the
+// content can realize (Bits for perfectly balanced, independent bits).
+func (h *Hasher) EffectiveEntropy(lines []line.Line) float64 {
+	total := 0.0
+	for _, p := range h.BitBias(lines) {
+		if p > 0 && p < 1 {
+			total += -p*log2(p) - (1-p)*log2(1-p)
+		}
+	}
+	return total
+}
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// CollisionRate estimates, by sampling, the probability that two lines at
+// the given byte-diff distance share a fingerprint. It perturbs trials
+// random base lines at exactly diffBytes random byte positions and counts
+// fingerprint matches. Exposed for characterization tests and examples.
+func (h *Hasher) CollisionRate(diffBytes, trials int, seed uint64) float64 {
+	if diffBytes < 0 || diffBytes > line.Size {
+		panic("lsh: diffBytes out of range")
+	}
+	rng := xrand.New(seed)
+	same := 0
+	for t := 0; t < trials; t++ {
+		var a line.Line
+		for i := range a {
+			a[i] = byte(rng.Uint32())
+		}
+		b := a
+		perm := rng.Perm(line.Size)
+		for j := 0; j < diffBytes; j++ {
+			pos := perm[j]
+			// Flip to a guaranteed-different value.
+			b[pos] = a[pos] + byte(1+rng.Intn(255))
+		}
+		if h.Fingerprint(&a) == h.Fingerprint(&b) {
+			same++
+		}
+	}
+	if trials == 0 {
+		return 0
+	}
+	return float64(same) / float64(trials)
+}

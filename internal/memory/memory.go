@@ -1,0 +1,130 @@
+// Package memory models the backing store (DRAM) behind the LLC: a sparse,
+// cacheline-granular content store with access accounting for the energy
+// model (Fig. 14 weighs LLC overheads against avoided DRAM accesses).
+//
+// The store also hosts auxiliary in-memory structures that the paper
+// allocates in DRAM — most importantly the Thesaurus base table (§5.2.3)
+// — via a separate accounting channel so their traffic can be reported
+// independently.
+package memory
+
+import "repro/internal/line"
+
+// AccessKind distinguishes the DRAM traffic classes we account.
+type AccessKind int
+
+// DRAM traffic classes.
+const (
+	// Fill is a demand read caused by an LLC miss.
+	Fill AccessKind = iota
+	// Writeback is a dirty eviction from the LLC.
+	Writeback
+	// BaseTable is traffic to the in-memory base table (base-cache
+	// misses and victim writebacks).
+	BaseTable
+	numKinds
+)
+
+// Stats counts DRAM accesses by kind.
+type Stats struct {
+	Counts [numKinds]uint64
+}
+
+// Total returns all DRAM accesses including base-table traffic.
+func (s Stats) Total() uint64 {
+	var t uint64
+	for _, c := range s.Counts {
+		t += c
+	}
+	return t
+}
+
+// Demand returns fills + writebacks (the traffic that exists in every
+// design, compressed or not).
+func (s Stats) Demand() uint64 {
+	return s.Counts[Fill] + s.Counts[Writeback]
+}
+
+// LatencyModel prices individual DRAM accesses (see package dram). A nil
+// model means the simulator's flat memory latency applies.
+type LatencyModel interface {
+	// Access returns the latency in core cycles of one line access.
+	Access(addr line.Addr) float64
+}
+
+// Store is a sparse DRAM image at cacheline granularity. Unpopulated
+// lines read as zero, as freshly mapped pages do.
+type Store struct {
+	lines   map[line.Addr]line.Line
+	stats   Stats
+	latency LatencyModel
+	// demandCycles accumulates modelled latency of demand traffic.
+	demandCycles float64
+}
+
+// AttachLatencyModel prices subsequent demand accesses (fills and
+// writebacks) with m; the accumulated cycles are exposed via
+// DemandCycles.
+func (s *Store) AttachLatencyModel(m LatencyModel) { s.latency = m }
+
+// DemandCycles returns the modelled total latency of demand accesses
+// since the last ResetStats, and whether a latency model is attached.
+func (s *Store) DemandCycles() (float64, bool) {
+	return s.demandCycles, s.latency != nil
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{lines: make(map[line.Addr]line.Line)}
+}
+
+// Read returns the content of the line containing addr and counts one
+// access of the given kind.
+func (s *Store) Read(addr line.Addr, kind AccessKind) line.Line {
+	s.stats.Counts[kind]++
+	if s.latency != nil && kind != BaseTable {
+		s.demandCycles += s.latency.Access(addr)
+	}
+	return s.lines[addr.LineAddr()]
+}
+
+// Write stores data at addr's line and counts one access of the given kind.
+func (s *Store) Write(addr line.Addr, data line.Line, kind AccessKind) {
+	s.stats.Counts[kind]++
+	if s.latency != nil && kind != BaseTable {
+		s.demandCycles += s.latency.Access(addr)
+	}
+	s.lines[addr.LineAddr()] = data
+}
+
+// Peek returns the line content without accounting (used by generators,
+// verification, and snapshotting, which model no hardware traffic).
+func (s *Store) Peek(addr line.Addr) line.Line {
+	return s.lines[addr.LineAddr()]
+}
+
+// Poke sets the line content without accounting (pre-population of the
+// image before the measured window, mirroring the paper's 100B-instruction
+// warmup skip).
+func (s *Store) Poke(addr line.Addr, data line.Line) {
+	s.lines[addr.LineAddr()] = data
+}
+
+// Populated returns the number of distinct lines ever written.
+func (s *Store) Populated() int { return len(s.lines) }
+
+// Release drops the content map, keeping the access statistics. Long
+// experiment campaigns call this once a replay is finished and only the
+// counters are still needed; subsequent reads observe zero lines.
+func (s *Store) Release() {
+	s.lines = make(map[line.Addr]line.Line)
+}
+
+// Stats returns a copy of the access counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the access counters (e.g. after cache warmup).
+func (s *Store) ResetStats() {
+	s.stats = Stats{}
+	s.demandCycles = 0
+}

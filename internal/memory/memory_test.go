@@ -1,0 +1,87 @@
+package memory
+
+import (
+	"testing"
+
+	"repro/internal/line"
+)
+
+func TestReadWriteAccounting(t *testing.T) {
+	s := NewStore()
+	var l line.Line
+	l[0] = 7
+	s.Write(0x1000, l, Writeback)
+	got := s.Read(0x1000, Fill)
+	if got != l {
+		t.Fatal("read returned wrong data")
+	}
+	st := s.Stats()
+	if st.Counts[Fill] != 1 || st.Counts[Writeback] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Demand() != 2 || st.Total() != 2 {
+		t.Fatalf("demand=%d total=%d", st.Demand(), st.Total())
+	}
+}
+
+func TestBaseTableTrafficSeparate(t *testing.T) {
+	s := NewStore()
+	s.Read(0, BaseTable)
+	st := s.Stats()
+	if st.Demand() != 0 {
+		t.Fatal("base table traffic counted as demand")
+	}
+	if st.Total() != 1 {
+		t.Fatal("base table traffic not counted at all")
+	}
+}
+
+func TestPeekPokeNoAccounting(t *testing.T) {
+	s := NewStore()
+	var l line.Line
+	l[5] = 9
+	s.Poke(0x40, l)
+	if s.Peek(0x40) != l {
+		t.Fatal("peek after poke")
+	}
+	if s.Stats().Total() != 0 {
+		t.Fatal("peek/poke counted")
+	}
+	if s.Populated() != 1 {
+		t.Fatalf("populated = %d", s.Populated())
+	}
+}
+
+func TestUnpopulatedReadsZero(t *testing.T) {
+	s := NewStore()
+	if got := s.Peek(0x9999999); !got.IsZero() {
+		t.Fatal("unpopulated line not zero")
+	}
+}
+
+func TestLineGranularity(t *testing.T) {
+	s := NewStore()
+	var l line.Line
+	l[1] = 3
+	s.Poke(0x47, l) // unaligned: must land on line 0x40
+	if s.Peek(0x40) != l {
+		t.Fatal("unaligned poke missed its line")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	s := NewStore()
+	s.Read(0, Fill)
+	s.ResetStats()
+	if s.Stats().Total() != 0 {
+		t.Fatal("stats not reset")
+	}
+	// Contents survive a stats reset.
+	var l line.Line
+	l[0] = 1
+	s.Poke(0, l)
+	s.ResetStats()
+	if s.Peek(0) != l {
+		t.Fatal("reset cleared contents")
+	}
+}

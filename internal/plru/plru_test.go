@@ -1,0 +1,134 @@
+package plru
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLRUExactOrder(t *testing.T) {
+	l := NewLRU(4)
+	// Initial victim is the last way.
+	if v := l.Victim(); v != 3 {
+		t.Fatalf("initial victim %d", v)
+	}
+	l.Touch(3)
+	if v := l.Victim(); v != 2 {
+		t.Fatalf("victim after touch(3) = %d", v)
+	}
+	l.Touch(2)
+	l.Touch(1)
+	l.Touch(0)
+	// Recency order now 0,1,2,3 → victim 3.
+	if v := l.Victim(); v != 3 {
+		t.Fatalf("victim = %d, want 3", v)
+	}
+}
+
+// refLRU is a slice-based reference model.
+type refLRU struct{ order []int }
+
+func (r *refLRU) touch(w int) {
+	for i, v := range r.order {
+		if v == w {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.order = append([]int{w}, r.order...)
+}
+func (r *refLRU) victim() int { return r.order[len(r.order)-1] }
+
+func TestLRUAgainstReference(t *testing.T) {
+	const ways = 8
+	l := NewLRU(ways)
+	ref := &refLRU{}
+	for i := 0; i < ways; i++ {
+		ref.order = append(ref.order, i)
+	}
+	rng := xrand.New(99)
+	for step := 0; step < 10000; step++ {
+		w := rng.Intn(ways)
+		l.Touch(w)
+		ref.touch(w)
+		if l.Victim() != ref.victim() {
+			t.Fatalf("step %d: victim %d, reference %d", step, l.Victim(), ref.victim())
+		}
+	}
+}
+
+func TestTreePLRUTouchedNotVictim(t *testing.T) {
+	for _, ways := range []int{1, 2, 4, 8, 16, 32, 64} {
+		p := NewTree(ways)
+		rng := xrand.New(uint64(ways))
+		for step := 0; step < 2000; step++ {
+			w := rng.Intn(ways)
+			p.Touch(w)
+			if ways > 1 && p.Victim() == w {
+				t.Fatalf("ways=%d: just-touched way %d is the victim", ways, w)
+			}
+		}
+	}
+}
+
+func TestTreePLRUCyclesThroughAllWays(t *testing.T) {
+	// Repeatedly evict the victim and touch its replacement: every way
+	// must be chosen within a bounded number of rounds (no starvation).
+	const ways = 8
+	p := NewTree(ways)
+	seen := map[int]bool{}
+	for i := 0; i < ways*4; i++ {
+		v := p.Victim()
+		seen[v] = true
+		p.Touch(v)
+	}
+	if len(seen) != ways {
+		t.Fatalf("victim rotation covered %d of %d ways", len(seen), ways)
+	}
+}
+
+func TestTreePLRURequiresPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTree(6) did not panic")
+		}
+	}()
+	NewTree(6)
+}
+
+func TestTouchOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Touch(9) on 8-way did not panic")
+		}
+	}()
+	NewTree(8).Touch(9)
+}
+
+func TestNewPolicy(t *testing.T) {
+	if NewPolicy("lru", 4).Ways() != 4 {
+		t.Fatal("lru ways")
+	}
+	if NewPolicy("plru", 8).Ways() != 8 {
+		t.Fatal("plru ways")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown policy did not panic")
+		}
+	}()
+	NewPolicy("clock", 4)
+}
+
+func TestMRUProtectionDepth(t *testing.T) {
+	// In tree PLRU, after touching ways in a set, the most recently
+	// touched half must not contain the victim.
+	p := NewTree(8)
+	for _, w := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
+		p.Touch(w)
+	}
+	// 7 is MRU → victim must be in 0..3 (other half of the tree root).
+	if v := p.Victim(); v >= 4 {
+		t.Fatalf("victim %d in the recently-used half", v)
+	}
+}

@@ -1,0 +1,171 @@
+// Package report renders the experiment harness's tables and bar charts
+// as plain text, so every figure and table of the paper has a direct
+// terminal representation.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a pre-formatted row.
+func (t *Table) AddRowf(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "\n%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title)))
+	}
+	line := func(r []string) {
+		for i, c := range r {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w)
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// BarChart renders labelled horizontal bars, scaled to a fixed width.
+type BarChart struct {
+	Title string
+	Unit  string
+	Width int // bar width in characters (default 50)
+	names []string
+	vals  []float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title, unit string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Width: 50}
+}
+
+// Add appends one bar.
+func (b *BarChart) Add(name string, value float64) {
+	b.names = append(b.names, name)
+	b.vals = append(b.vals, value)
+}
+
+// Render writes the chart to w.
+func (b *BarChart) Render(w io.Writer) {
+	if b.Title != "" {
+		fmt.Fprintf(w, "\n%s\n%s\n", b.Title, strings.Repeat("=", len(b.Title)))
+	}
+	maxName, maxVal := 0, 0.0
+	for i, n := range b.names {
+		if len(n) > maxName {
+			maxName = len(n)
+		}
+		if b.vals[i] > maxVal {
+			maxVal = b.vals[i]
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	for i, n := range b.names {
+		bars := int(b.vals[i] / maxVal * float64(b.Width))
+		if bars < 0 {
+			bars = 0
+		}
+		fmt.Fprintf(w, "%-*s  %8.3f %s |%s\n", maxName, n, b.vals[i], b.Unit,
+			strings.Repeat("#", bars))
+	}
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var s strings.Builder
+	b.Render(&s)
+	return s.String()
+}
+
+// Sparkline renders a series as a compact one-line chart using eighth
+// blocks; used for the over-time figure (Fig. 19).
+func Sparkline(values []float64, max float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	if max <= 0 {
+		for _, v := range values {
+			if v > max {
+				max = v
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int(v / max * float64(len(blocks)))
+		if idx >= len(blocks) {
+			idx = len(blocks) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Table", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	tb.AddRowf("preformatted", "99%")
+	out := tb.String()
+	for _, want := range []string{"My Table", "name", "value", "alpha", "1.500", "42", "99%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every row has the header separator width.
+	if !strings.Contains(out, "----") {
+		t.Error("no separator")
+	}
+}
+
+func TestTableColumnWidths(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRowf("longvaluehere", "1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and row lines should have equal prefix width up to column 2.
+	if len(lines) < 3 {
+		t.Fatalf("too few lines: %q", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := NewBarChart("Chart", "x")
+	c.Add("small", 1)
+	c.Add("big", 10)
+	out := c.String()
+	if !strings.Contains(out, "Chart") || !strings.Contains(out, "big") {
+		t.Fatalf("chart output: %s", out)
+	}
+	// The largest bar uses the full width; the small one a tenth.
+	var bigBars, smallBars int
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "big") {
+			bigBars = strings.Count(ln, "#")
+		}
+		if strings.HasPrefix(ln, "small") {
+			smallBars = strings.Count(ln, "#")
+		}
+	}
+	if bigBars != 50 || smallBars != 5 {
+		t.Fatalf("bars big=%d small=%d", bigBars, smallBars)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	c := NewBarChart("Z", "")
+	c.Add("a", 0)
+	if out := c.String(); !strings.Contains(out, "a") {
+		t.Fatal("zero chart broke")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 32, 64}, 64)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] == runes[2] {
+		t.Fatalf("extremes identical: %q", s)
+	}
+	if Sparkline(nil, 10) != "" {
+		t.Fatal("empty sparkline")
+	}
+	// Auto-scaling path.
+	if Sparkline([]float64{1, 2}, 0) == "" {
+		t.Fatal("auto-scale failed")
+	}
+}

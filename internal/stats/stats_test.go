@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("Geomean(1,4) = %v", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("Geomean(2,2,2) = %v", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("Geomean(nil)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geomean of non-positive did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanBounds(t *testing.T) {
+	// Geomean lies between min and max.
+	if err := quick.Check(func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 0.1, float64(b) + 0.1, float64(c) + 0.1}
+		g := Geomean(xs)
+		min, max := xs[0], xs[0]
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		return g >= min-1e-9 && g <= max+1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes")
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Fatalf("median = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // under
+	h.Add(10) // over
+	if h.N != 12 || h.Under != 1 || h.Over != 1 {
+		t.Fatalf("N=%d under=%d over=%d", h.N, h.Under, h.Over)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bucket %d count %d", i, c)
+		}
+	}
+	if f := h.FractionBelow(5); math.Abs(f-6.0/12) > 1e-9 {
+		t.Fatalf("FractionBelow(5) = %v", f)
+	}
+	if m := h.Mean(); math.Abs(m-(45+5-1+10)/12.0) > 1e-9 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestHistogramPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry accepted")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(2)
+	s.Add(1)
+	s.Add(3) // window 1: avg 2
+	s.Add(5) // pending
+	pts := s.Points()
+	if len(pts) != 2 || pts[0] != 2 || pts[1] != 5 {
+		t.Fatalf("points %v", pts)
+	}
+	s.Add(7) // completes window 2: avg 6
+	pts = s.Points()
+	if len(pts) != 2 || pts[1] != 6 {
+		t.Fatalf("points %v", pts)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Rate() != 0 {
+		t.Fatal("empty rate")
+	}
+	c.Observe(true)
+	c.Observe(false)
+	c.Observe(true)
+	if c.Rate() != 2.0/3 {
+		t.Fatalf("rate %v", c.Rate())
+	}
+}

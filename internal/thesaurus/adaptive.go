@@ -1,0 +1,89 @@
+package thesaurus
+
+// Adaptive compression disable — the practical extension the paper
+// sketches twice: "the LLC could dynamically detect cache-insensitive
+// workloads by measuring average memory access times and disable LLC
+// compression" (§6.1), and "a practical implementation would detect
+// cache-insensitive workloads and simply disable compression for
+// cachelines they access" (§6.3, on the power cost of compressing
+// workloads that cannot benefit).
+//
+// The detector works in epochs of AdaptiveEpoch LLC accesses. A workload
+// is deemed insensitive when the epoch hit rate sits outside the band
+// where extra effective capacity can matter:
+//
+//   - hit rate ≥ hiThreshold: the working set already fits — extra
+//     capacity is unused, so compression only burns energy;
+//   - hit rate ≤ loThreshold: the workload streams far beyond even a
+//     compressed cache — again no benefit.
+//
+// While disabled, insertions skip the LSH/base-cache machinery and store
+// raw (zero lines are still detected: that costs one comparator, not a
+// hash). Every probeEvery-th epoch compression is forcibly re-enabled so
+// a phase change back to a cacheable working set is noticed — mirroring
+// set-dueling-style sampling used by adaptive cache policies.
+
+// Adaptive thresholds (fractions of epoch accesses).
+const (
+	adaptiveLoThreshold = 0.02
+	adaptiveHiThreshold = 0.97
+	adaptiveProbeEvery  = 8
+)
+
+// adaptiveState tracks the epoch detector.
+type adaptiveState struct {
+	epochAccesses uint64
+	epochHits     uint64
+	epoch         uint64
+	disabled      bool
+}
+
+// AdaptiveStats reports the detector's behaviour.
+type AdaptiveStats struct {
+	// Epochs is the number of completed epochs.
+	Epochs uint64
+	// DisabledEpochs counts epochs that ran with compression off.
+	DisabledEpochs uint64
+	// DisabledPlacements counts placements stored raw due to the
+	// detector (excluded from the Fig. 17 encoding-mix accounting of a
+	// non-adaptive cache).
+	DisabledPlacements uint64
+}
+
+// observeAccess feeds the detector one LLC access outcome and rolls the
+// epoch when due.
+func (c *Cache) observeAccess(hit bool) {
+	if c.cfg.AdaptiveEpoch <= 0 {
+		return
+	}
+	s := &c.adaptive
+	s.epochAccesses++
+	if hit {
+		s.epochHits++
+	}
+	if s.epochAccesses < uint64(c.cfg.AdaptiveEpoch) {
+		return
+	}
+	hitRate := float64(s.epochHits) / float64(s.epochAccesses)
+	s.epoch++
+	c.adaptiveStats.Epochs++
+	if s.disabled {
+		c.adaptiveStats.DisabledEpochs++
+	}
+	if s.epoch%adaptiveProbeEvery == 0 {
+		// Probe epoch: run compressed regardless, to notice phase
+		// changes.
+		s.disabled = false
+	} else {
+		s.disabled = hitRate <= adaptiveLoThreshold || hitRate >= adaptiveHiThreshold
+	}
+	s.epochAccesses, s.epochHits = 0, 0
+}
+
+// compressionDisabled reports whether the current epoch runs raw.
+func (c *Cache) compressionDisabled() bool {
+	return c.cfg.AdaptiveEpoch > 0 && c.adaptive.disabled
+}
+
+// AdaptiveStats returns the detector counters.
+func (c *Cache) AdaptiveStats() AdaptiveStats { return c.adaptiveStats }

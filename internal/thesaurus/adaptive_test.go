@@ -1,0 +1,112 @@
+package thesaurus
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+// adaptiveConfig returns a small cache with the detector on.
+func adaptiveConfig() Config {
+	cfg := smallConfig()
+	cfg.AdaptiveEpoch = 2000
+	return cfg
+}
+
+// TestAdaptiveDisablesOnStreaming: a working set far beyond the cache
+// (near-zero hit rate) must trip the detector.
+func TestAdaptiveDisablesOnStreaming(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(adaptiveConfig(), mem)
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i + 1)
+	}
+	// Stream 40K distinct compressible lines through a ~256-line cache.
+	for i := 0; i < 40000; i++ {
+		l := proto
+		l[0], l[1] = byte(i), byte(i>>8)
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	st := c.AdaptiveStats()
+	if st.Epochs < 10 {
+		t.Fatalf("epochs %d", st.Epochs)
+	}
+	if st.DisabledEpochs == 0 || st.DisabledPlacements == 0 {
+		t.Fatalf("streaming did not disable compression: %+v", st)
+	}
+	// Probe epochs keep some epochs enabled.
+	if st.DisabledEpochs >= st.Epochs {
+		t.Fatalf("no probe epochs: %+v", st)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdaptiveDisablesWhenFitting: a tiny, fully resident working set
+// (≈100% hit rate) also trips the detector.
+func TestAdaptiveDisablesWhenFitting(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(adaptiveConfig(), mem)
+	var proto line.Line
+	proto[0] = 9
+	for i := 0; i < 32; i++ {
+		mem.Poke(line.Addr(i)*line.Size, proto)
+	}
+	for k := 0; k < 30000; k++ {
+		c.Read(line.Addr(k%32) * line.Size)
+	}
+	st := c.AdaptiveStats()
+	if st.DisabledEpochs == 0 {
+		t.Fatalf("fully-resident workload did not disable compression: %+v", st)
+	}
+}
+
+// TestAdaptiveStaysOnForSensitiveMix: a working set in the sweet spot
+// (moderate hit rate, compression helps) must keep compression on.
+func TestAdaptiveStaysOnForSensitiveMix(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(adaptiveConfig(), mem)
+	rng := xrand.New(1)
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i * 3)
+	}
+	const span = 600 // ~2.3× the tiny cache: mid hit rate
+	for i := 0; i < span; i++ {
+		l := proto
+		l[0] = byte(i)
+		l[1] = byte(i >> 8)
+		mem.Poke(line.Addr(i)*line.Size, l)
+	}
+	for k := 0; k < 40000; k++ {
+		c.Read(line.Addr(rng.Intn(span)) * line.Size)
+	}
+	st := c.AdaptiveStats()
+	if st.Epochs == 0 {
+		t.Fatal("no epochs")
+	}
+	if float64(st.DisabledEpochs) > 0.25*float64(st.Epochs) {
+		t.Fatalf("sensitive mix mostly disabled: %+v", st)
+	}
+	// Compression keeps working.
+	if fp := c.Footprint(); fp.CompressionRatio() < 1.5 {
+		t.Fatalf("compression lost: %.2fx", fp.CompressionRatio())
+	}
+}
+
+// TestAdaptiveOffByDefault: the paper's evaluated configuration has no
+// detector.
+func TestAdaptiveOffByDefault(t *testing.T) {
+	c := MustNew(smallConfig(), memory.NewStore())
+	for i := 0; i < 10000; i++ {
+		c.Read(line.Addr(i) * line.Size)
+	}
+	if st := c.AdaptiveStats(); st.Epochs != 0 || st.DisabledPlacements != 0 {
+		t.Fatalf("detector ran while disabled: %+v", st)
+	}
+}

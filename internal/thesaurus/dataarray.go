@@ -1,0 +1,250 @@
+package thesaurus
+
+import (
+	"fmt"
+
+	"repro/internal/diffenc"
+)
+
+// SlotState is the startmap marking for one data-array entry slot
+// (Fig. 10: D = valid-diff, R = valid-raw, I = invalid tombstone).
+type SlotState uint8
+
+// Slot states. Tombstones hold their ordinal position in the startmap so
+// segix fields in the tag array stay valid across compaction (§5.2.2).
+const (
+	SlotFree SlotState = iota
+	SlotValidRaw
+	SlotValidDiff
+	SlotInvalid
+)
+
+// slot is one startmap position: an entry start marker plus, in this
+// behavioural model, the encoded payload itself (physical byte offsets are
+// implied by the sum of preceding valid sizes and need not be tracked).
+type slot struct {
+	state  SlotState
+	segs   int // data-array segments occupied (0 for tombstones)
+	tagIdx int // back-pointer into the tag array (the tagptr of Fig. 9)
+	enc    diffenc.Encoded
+}
+
+// dataSet is one set of the decoupled data array: SegmentsPerSet 8-byte
+// segments shared by a variable number of compressed entries, plus the
+// startmap (the slots).
+type dataSet struct {
+	slots    []slot
+	usedSegs int
+}
+
+// DataArray is the decoupled, segment-granular LLC data array of §5.2.2.
+type DataArray struct {
+	sets        []dataSet
+	segsPerSet  int
+	totalEvents uint64 // entries evicted to make space (stat)
+}
+
+// NewDataArray builds an array of numSets sets with segsPerSet segments
+// each.
+func NewDataArray(numSets, segsPerSet int) *DataArray {
+	if numSets <= 0 || segsPerSet <= 0 || segsPerSet > 64 {
+		panic("thesaurus: invalid data array geometry")
+	}
+	return &DataArray{sets: make([]dataSet, numSets), segsPerSet: segsPerSet}
+}
+
+// NumSets returns the set count.
+func (d *DataArray) NumSets() int { return len(d.sets) }
+
+// SegmentsPerSet returns the per-set segment count.
+func (d *DataArray) SegmentsPerSet() int { return d.segsPerSet }
+
+// CapacityBytes returns the total data capacity.
+func (d *DataArray) CapacityBytes() int {
+	return len(d.sets) * d.segsPerSet * diffenc.SegmentBytes
+}
+
+// UsedBytes returns the occupied data space.
+func (d *DataArray) UsedBytes() int {
+	used := 0
+	for i := range d.sets {
+		used += d.sets[i].usedSegs
+	}
+	return used * diffenc.SegmentBytes
+}
+
+// FreeSegs returns the free segments in set s.
+func (d *DataArray) FreeSegs(s int) int {
+	return d.segsPerSet - d.sets[s].usedSegs
+}
+
+// Insert places enc (which must occupy at least one segment) into set s on
+// behalf of tag tagIdx and returns the slot index for the tag's segix
+// field. The set must have enough free segments; callers evict first.
+func (d *DataArray) Insert(s int, enc diffenc.Encoded, tagIdx int) int {
+	segs := enc.Segments()
+	if segs <= 0 {
+		panic("thesaurus: Insert of entry with no data footprint")
+	}
+	set := &d.sets[s]
+	if set.usedSegs+segs > d.segsPerSet {
+		panic(fmt.Sprintf("thesaurus: Insert overflows set %d (%d used + %d new > %d)",
+			s, set.usedSegs, segs, d.segsPerSet))
+	}
+	state := SlotValidDiff
+	if enc.Format == diffenc.FormatRaw {
+		state = SlotValidRaw
+	}
+	newSlot := slot{state: state, segs: segs, tagIdx: tagIdx, enc: enc}
+	// Reuse a tombstone if present (Fig. 11d step 6), else append a new
+	// startmap position. Because every live entry spans ≥2 segments, at
+	// most segsPerSet/2 slots are live, so a position is always available.
+	for i := range set.slots {
+		if set.slots[i].state == SlotInvalid {
+			set.slots[i] = newSlot
+			set.usedSegs += segs
+			return i
+		}
+	}
+	if len(set.slots) >= d.segsPerSet {
+		panic("thesaurus: startmap exhausted (invariant violated)")
+	}
+	set.slots = append(set.slots, newSlot)
+	set.usedSegs += segs
+	return len(set.slots) - 1
+}
+
+// Get returns the encoded entry at (set, slot). It panics on tombstones or
+// free slots; tags never point at those.
+func (d *DataArray) Get(s, slotIdx int) *diffenc.Encoded {
+	sl := d.slotAt(s, slotIdx)
+	if sl.state != SlotValidRaw && sl.state != SlotValidDiff {
+		panic(fmt.Sprintf("thesaurus: Get of non-valid slot (%d,%d)", s, slotIdx))
+	}
+	return &sl.enc
+}
+
+// TagOf returns the tag back-pointer of the entry at (set, slot).
+func (d *DataArray) TagOf(s, slotIdx int) int {
+	return d.slotAt(s, slotIdx).tagIdx
+}
+
+// Remove tombstones the entry at (set, slot), releasing its segments; the
+// remaining entries are (conceptually) compacted without renumbering
+// (Fig. 11c).
+func (d *DataArray) Remove(s, slotIdx int) {
+	sl := d.slotAt(s, slotIdx)
+	if sl.state != SlotValidRaw && sl.state != SlotValidDiff {
+		panic(fmt.Sprintf("thesaurus: Remove of non-valid slot (%d,%d)", s, slotIdx))
+	}
+	d.sets[s].usedSegs -= sl.segs
+	*sl = slot{state: SlotInvalid, tagIdx: -1}
+}
+
+func (d *DataArray) slotAt(s, slotIdx int) *slot {
+	if s < 0 || s >= len(d.sets) {
+		panic(fmt.Sprintf("thesaurus: set index %d out of range", s))
+	}
+	set := &d.sets[s]
+	if slotIdx < 0 || slotIdx >= len(set.slots) {
+		panic(fmt.Sprintf("thesaurus: slot index %d out of range in set %d", slotIdx, s))
+	}
+	return &set.slots[slotIdx]
+}
+
+// VictimPlan lists the entries (slot indices, largest first) that must be
+// evicted from set s to free need segments. The bool result is false if
+// even evicting everything would not suffice (need > segsPerSet).
+func (d *DataArray) VictimPlan(s, need int) ([]int, bool) {
+	free := d.FreeSegs(s)
+	if free >= need {
+		return nil, true
+	}
+	if need > d.segsPerSet {
+		return nil, false
+	}
+	set := &d.sets[s]
+	// Largest-first minimizes the number of entries (and thus tags)
+	// evicted, the objective of the §5.4.3 data replacement policy.
+	type cand struct{ idx, segs int }
+	var cands []cand
+	for i := range set.slots {
+		if st := set.slots[i].state; st == SlotValidRaw || st == SlotValidDiff {
+			cands = append(cands, cand{i, set.slots[i].segs})
+		}
+	}
+	// Insertion sort by segs descending (sets are tiny).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].segs > cands[j-1].segs; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	var plan []int
+	for _, c := range cands {
+		if free >= need {
+			break
+		}
+		plan = append(plan, c.idx)
+		free += c.segs
+	}
+	if free < need {
+		return nil, false
+	}
+	return plan, true
+}
+
+// EvictionCost returns how many segments would need to be evicted from
+// set s to fit need segments (0 if it already fits).
+func (d *DataArray) EvictionCost(s, need int) int {
+	free := d.FreeSegs(s)
+	if free >= need {
+		return 0
+	}
+	return need - free
+}
+
+// ForEachEntry calls fn for every valid entry.
+func (d *DataArray) ForEachEntry(fn func(set, slotIdx int, enc *diffenc.Encoded, tagIdx int)) {
+	for s := range d.sets {
+		set := &d.sets[s]
+		for i := range set.slots {
+			sl := &set.slots[i]
+			if sl.state == SlotValidRaw || sl.state == SlotValidDiff {
+				fn(s, i, &sl.enc, sl.tagIdx)
+			}
+		}
+	}
+}
+
+// CheckInvariants validates the startmap bookkeeping: per-set used
+// segments equal the sum of valid slot sizes and never exceed capacity.
+// It is exercised by tests and returns the first violation found.
+func (d *DataArray) CheckInvariants() error {
+	for s := range d.sets {
+		set := &d.sets[s]
+		sum := 0
+		for i := range set.slots {
+			sl := &set.slots[i]
+			switch sl.state {
+			case SlotValidRaw, SlotValidDiff:
+				if sl.segs <= 0 {
+					return fmt.Errorf("set %d slot %d: valid with %d segs", s, i, sl.segs)
+				}
+				sum += sl.segs
+			case SlotInvalid:
+				if sl.segs != 0 {
+					return fmt.Errorf("set %d slot %d: tombstone with %d segs", s, i, sl.segs)
+				}
+			case SlotFree:
+				return fmt.Errorf("set %d slot %d: free slot inside startmap", s, i)
+			}
+		}
+		if sum != set.usedSegs {
+			return fmt.Errorf("set %d: usedSegs=%d but slots sum to %d", s, set.usedSegs, sum)
+		}
+		if sum > d.segsPerSet {
+			return fmt.Errorf("set %d: %d segments exceed capacity %d", s, sum, d.segsPerSet)
+		}
+	}
+	return nil
+}

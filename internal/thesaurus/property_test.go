@@ -1,0 +1,226 @@
+package thesaurus
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+// TestQuickOperationSequences drives randomly generated operation
+// sequences through a tiny cache and checks, via testing/quick, that
+// (a) reads always return the last written value and (b) the structural
+// invariants hold afterwards.
+func TestQuickOperationSequences(t *testing.T) {
+	type op struct {
+		Addr  uint16
+		Write bool
+		Fill  byte
+		Proto uint8
+	}
+	f := func(seed uint64, ops []op) bool {
+		mem := memory.NewStore()
+		c := MustNew(smallConfig(), mem)
+		rng := xrand.New(seed)
+		var protos [4]line.Line
+		for p := range protos {
+			for i := range protos[p] {
+				protos[p][i] = byte(rng.Uint32())
+			}
+		}
+		ref := map[line.Addr]line.Line{}
+		for _, o := range ops {
+			addr := line.Addr(o.Addr) * line.Size
+			if o.Write {
+				l := protos[int(o.Proto)%len(protos)]
+				l[int(o.Fill)%line.Size] = o.Fill
+				c.Write(addr, l)
+				ref[addr] = l
+				mem.Poke(addr, l)
+			} else {
+				got, _ := c.Read(addr)
+				want, ok := ref[addr]
+				if !ok {
+					want = mem.Peek(addr)
+				}
+				if got != want {
+					return false
+				}
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFootprintNeverExceedsCapacity: the data array cannot be
+// over-committed regardless of workload.
+func TestFootprintNeverExceedsCapacity(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(77)
+	for i := 0; i < 30000; i++ {
+		addr := line.Addr(rng.Intn(8192)) * line.Size
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		c.Write(addr, l)
+		if i%2500 == 0 {
+			fp := c.Footprint()
+			if fp.DataBytesUsed > fp.DataBytesTotal {
+				t.Fatalf("over-committed: %+v", fp)
+			}
+		}
+	}
+}
+
+// TestZeroLinesAreFree: all-zero lines occupy tags only.
+func TestZeroLinesAreFree(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	for i := 0; i < 100; i++ {
+		c.Read(line.Addr(i) * line.Size) // unpopulated memory reads zero
+	}
+	fp := c.Footprint()
+	if fp.ResidentLines != 100 || fp.DataBytesUsed != 0 {
+		t.Fatalf("zero lines consumed data: %+v", fp)
+	}
+	if c.Extra().ByFormat[diffenc.FormatAllZero] != 100 {
+		t.Fatalf("format mix %v", c.Extra().ByFormat)
+	}
+}
+
+// TestClusteredContentCompresses: near-duplicate lines must land in
+// base+diff or base-only formats and shrink the footprint substantially.
+func TestClusteredContentCompresses(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(i*7 + 3)
+	}
+	rng := xrand.New(5)
+	const n = 200
+	for i := 0; i < n; i++ {
+		l := proto
+		l[rng.Intn(8)] ^= byte(1 + rng.Intn(7)) // tiny perturbation
+		mem.Poke(line.Addr(i)*line.Size, l)
+		c.Read(line.Addr(i) * line.Size)
+	}
+	fp := c.Footprint()
+	if ratio := fp.CompressionRatio(); ratio < 2 {
+		t.Fatalf("clustered content only compressed %.2fx", ratio)
+	}
+	e := c.Extra()
+	clustered := e.ByFormat[diffenc.FormatBaseDiff] + e.ByFormat[diffenc.FormatBaseOnly]
+	if clustered < n/2 {
+		t.Fatalf("only %d/%d placements clustered: %v", clustered, n, e.ByFormat)
+	}
+}
+
+// TestIncompressibleContentFallsBackToRaw: random lines must be stored
+// raw without corrupting anything.
+func TestIncompressibleContentFallsBackToRaw(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(6)
+	for i := 0; i < 200; i++ {
+		var l line.Line
+		for j := 0; j < 8; j++ {
+			l.SetWord(j, rng.Uint64())
+		}
+		mem.Poke(line.Addr(i)*line.Size, l)
+		got, _ := c.Read(line.Addr(i) * line.Size)
+		if got != l {
+			t.Fatal("raw line corrupted")
+		}
+	}
+	e := c.Extra()
+	if e.ByFormat[diffenc.FormatRaw] < 150 {
+		t.Fatalf("random content not raw: %v", e.ByFormat)
+	}
+	fp := c.Footprint()
+	if r := fp.CompressionRatio(); r > 1.3 {
+		t.Fatalf("random content 'compressed' %.2fx", r)
+	}
+}
+
+// TestWriteShrinkAndGrow: §5.4.2 — writes may change an entry's size in
+// both directions.
+func TestWriteShrinkAndGrow(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(9)
+	var big line.Line
+	for j := 0; j < 8; j++ {
+		big.SetWord(j, rng.Uint64())
+	}
+	addr := line.Addr(0)
+	c.Write(addr, big) // raw: 8 segments
+	used1 := c.Footprint().DataBytesUsed
+	c.Write(addr, line.Zero) // all-zero: 0 segments
+	used2 := c.Footprint().DataBytesUsed
+	if used2 >= used1 {
+		t.Fatalf("shrink did not release space: %d → %d", used1, used2)
+	}
+	c.Write(addr, big) // grow again
+	if got, _ := c.Read(addr); got != big {
+		t.Fatal("grow corrupted data")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfigValidation rejects broken geometries.
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.TagEntries = 0 },
+		func(c *Config) { c.TagEntries = 100; c.TagWays = 8 },
+		func(c *Config) { c.DataSets = 0 },
+		func(c *Config) { c.SegmentsPerSet = 0 },
+		func(c *Config) { c.BaseCacheSets = 0 },
+		func(c *Config) { c.VictimCandidates = 0 },
+		func(c *Config) { c.LSH.Bits = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, memory.NewStore()); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+// TestScaledConfig keeps proportions.
+func TestScaledConfig(t *testing.T) {
+	half := ScaledConfig(512 << 10)
+	full := DefaultConfig()
+	if half.TagEntries >= full.TagEntries || half.DataSets >= full.DataSets {
+		t.Fatalf("scaled config not smaller: %+v", half)
+	}
+	if half.TagEntries%half.TagWays != 0 {
+		t.Fatal("scaled tags not a multiple of ways")
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecompressionInterfaces: the timing hooks report sane values.
+func TestDecompressionInterfaces(t *testing.T) {
+	c := MustNew(smallConfig(), memory.NewStore())
+	if c.DecompressionCycles() != 5 {
+		t.Fatalf("decompression cycles %v", c.DecompressionCycles())
+	}
+	if c.CriticalDRAMAccesses() != 0 {
+		t.Fatal("cold cache has critical DRAM accesses")
+	}
+}

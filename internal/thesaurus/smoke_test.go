@@ -1,0 +1,127 @@
+package thesaurus
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+// smallConfig returns a tiny but structurally complete cache for tests.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TagEntries = 256
+	cfg.TagWays = 8
+	cfg.DataSets = 12
+	return cfg
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+
+	rng := xrand.New(1)
+	want := make(map[line.Addr]line.Line)
+	// Populate memory with clustered content.
+	var proto line.Line
+	for i := range proto {
+		proto[i] = byte(rng.Uint32())
+	}
+	for i := 0; i < 64; i++ {
+		addr := line.Addr(i * line.Size)
+		l := proto
+		l[rng.Intn(64)] = byte(rng.Uint32())
+		mem.Poke(addr, l)
+		want[addr] = l
+	}
+	for addr, w := range want {
+		got, _ := c.Read(addr)
+		if got != w {
+			t.Fatalf("Read(%#x) mismatch\n got %v\nwant %v", uint64(addr), got, w)
+		}
+	}
+	// Re-read: must hit and still match.
+	for addr, w := range want {
+		got, hit := c.Read(addr)
+		if !hit {
+			t.Errorf("Read(%#x): expected hit", uint64(addr))
+		}
+		if got != w {
+			t.Fatalf("re-Read(%#x) mismatch", uint64(addr))
+		}
+	}
+	// Writes change content; reads observe them.
+	for addr := range want {
+		var l line.Line
+		for i := range l {
+			l[i] = byte(rng.Uint32())
+		}
+		c.Write(addr, l)
+		want[addr] = l
+	}
+	for addr, w := range want {
+		got, _ := c.Read(addr)
+		if got != w {
+			t.Fatalf("post-write Read(%#x) mismatch", uint64(addr))
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+func TestRandomizedInvariants(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(7)
+	ref := make(map[line.Addr]line.Line)
+
+	var protos [4]line.Line
+	for p := range protos {
+		for i := range protos[p] {
+			protos[p][i] = byte(rng.Uint32())
+		}
+	}
+	const span = 4096 // lines; far exceeds the tiny cache, forcing evictions
+	for step := 0; step < 20000; step++ {
+		addr := line.Addr(rng.Intn(span) * line.Size)
+		if rng.Bool(0.3) {
+			l := protos[rng.Intn(len(protos))]
+			// Mutate a few bytes to create near-duplicates.
+			for k := 0; k < rng.Intn(5); k++ {
+				l[rng.Intn(64)] = byte(rng.Uint32())
+			}
+			if rng.Bool(0.1) {
+				l = line.Zero
+			}
+			c.Write(addr, l)
+			ref[addr] = l
+			mem.Poke(addr, l) // keep a consistent view for later fills
+		} else {
+			got, _ := c.Read(addr)
+			want, ok := ref[addr]
+			if !ok {
+				want = mem.Peek(addr)
+			}
+			if got != want {
+				t.Fatalf("step %d: Read(%#x) mismatch", step, uint64(addr))
+			}
+		}
+		if step%1000 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	fp := c.Footprint()
+	if fp.ResidentLines == 0 || fp.DataBytesUsed > fp.DataBytesTotal {
+		t.Fatalf("bad footprint: %+v", fp)
+	}
+	if c.Extra().Insertions == 0 {
+		t.Fatal("no insertions recorded")
+	}
+}

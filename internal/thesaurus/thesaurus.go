@@ -1,0 +1,624 @@
+// Package thesaurus implements the paper's contribution: an LLC that
+// dynamically clusters similar cachelines with locality-sensitive hashing
+// and stores cluster members as byte-granular diffs against a per-cluster
+// base (clusteroid).
+//
+// Organization follows §5: a decoupled tag array (2× the conventional tag
+// count at iso-silicon), a segment-granular data array with startmap/segix
+// indirection, a global in-memory base table holding one clusteroid per
+// LSH fingerprint, and an LLC-side base cache over it. Data-array victim
+// sets are chosen with a best-of-n policy (§5.4.3).
+package thesaurus
+
+import (
+	"fmt"
+
+	"repro/internal/bdi"
+	"repro/internal/cache"
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/llc"
+	"repro/internal/lsh"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Config sizes a Thesaurus LLC. DefaultConfig reproduces the Table 2
+// iso-silicon design point for a 1MB conventional baseline.
+type Config struct {
+	// TagEntries is the tag-array size (2× the conventional tag count).
+	TagEntries int
+	// TagWays is the tag associativity.
+	TagWays int
+	// DataSets is the number of data-array sets.
+	DataSets int
+	// SegmentsPerSet is the number of 8-byte segments per data set (64 in
+	// the paper: a 128-bit startmap at 2 bits per segment).
+	SegmentsPerSet int
+	// LSH configures the fingerprint hasher.
+	LSH lsh.Config
+	// BaseCacheSets and BaseCacheWays size the base cache (64×8 = 512
+	// entries in the paper).
+	BaseCacheSets, BaseCacheWays int
+	// VictimCandidates is the n of the best-of-n data victim policy (4).
+	VictimCandidates int
+	// Seed drives the data-victim sampling.
+	Seed uint64
+	// DiffSeriesWindow, when positive, records the Fig. 19 diff-size time
+	// series with the given averaging window.
+	DiffSeriesWindow int
+	// BaseCachePlainLRU disables the scan-resistant victim-priority
+	// insertion of base-cache fills (see BaseCache.Access), reverting to
+	// the paper's plain pseudo-LRU management. Used by the ablation.
+	BaseCachePlainLRU bool
+	// IntraLineFallback enables the 2DCC-style second compression
+	// dimension (Ghasemazar et al., DATE 2020 — the paper's reference
+	// [21]): lines that fail to cluster (raw fallback) are compressed
+	// intra-line with BΔI before being stored. Off by default — the
+	// ASPLOS paper evaluates clustering alone.
+	IntraLineFallback bool
+	// AdaptiveEpoch, when positive, enables the cache-insensitivity
+	// detector sketched in §6.1/§6.3: compression is disabled for epochs
+	// of this many accesses whenever the hit rate shows the workload
+	// cannot benefit (see adaptive.go). Zero disables the detector (the
+	// paper's evaluated configuration).
+	AdaptiveEpoch int
+}
+
+// DefaultConfig returns the paper's Table 2 configuration: 32768 tags
+// (8-way), 11700-entry-equivalent data array, 12-bit LSH, 512-entry base
+// cache, best-of-4 victim selection.
+func DefaultConfig() Config {
+	return Config{
+		TagEntries: 32768,
+		TagWays:    8,
+		// 11700 data entries × 64B ≈ 749KB → 1462 sets of 512B.
+		DataSets:         1462,
+		SegmentsPerSet:   64,
+		LSH:              lsh.DefaultConfig(),
+		BaseCacheSets:    64,
+		BaseCacheWays:    8,
+		VictimCandidates: 4,
+		Seed:             0x7e5a7105,
+	}
+}
+
+// ScaledConfig returns a configuration iso-silicon with a conventional
+// cache of sizeBytes, scaling the Table 2 proportions linearly.
+func ScaledConfig(sizeBytes int) Config {
+	cfg := DefaultConfig()
+	scale := float64(sizeBytes) / float64(1<<20)
+	cfg.TagEntries = roundMultiple(int(float64(cfg.TagEntries)*scale), cfg.TagWays)
+	cfg.DataSets = int(float64(cfg.DataSets) * scale)
+	if cfg.DataSets < 1 {
+		cfg.DataSets = 1
+	}
+	return cfg
+}
+
+func roundMultiple(n, m int) int {
+	if n < m {
+		return m
+	}
+	return n / m * m
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.TagEntries <= 0 || c.TagWays <= 0 || c.TagEntries%c.TagWays != 0 {
+		return fmt.Errorf("thesaurus: bad tag geometry %d/%d", c.TagEntries, c.TagWays)
+	}
+	if c.DataSets <= 0 || c.SegmentsPerSet <= 0 {
+		return fmt.Errorf("thesaurus: bad data geometry %d×%d", c.DataSets, c.SegmentsPerSet)
+	}
+	if c.BaseCacheSets <= 0 || c.BaseCacheWays <= 0 {
+		return fmt.Errorf("thesaurus: bad base cache geometry %d×%d", c.BaseCacheSets, c.BaseCacheWays)
+	}
+	if c.VictimCandidates <= 0 {
+		return fmt.Errorf("thesaurus: need at least one victim candidate")
+	}
+	return c.LSH.Validate()
+}
+
+// tagPayload is the Thesaurus-specific part of a tag entry (Fig. 9
+// bottom-left): encoding format, LSH fingerprint, and the data-array
+// pointer (setPtr + segix).
+type tagPayload struct {
+	fmt     diffenc.Format
+	fp      lsh.Fingerprint
+	setPtr  int32 // -1 when the entry has no data-array footprint
+	slotIdx int32
+}
+
+// hasData reports whether the tag owns a data-array entry.
+func (p tagPayload) hasData() bool { return p.setPtr >= 0 }
+
+// refsBase reports whether the tag holds a reference on its cluster base.
+func (p tagPayload) refsBase() bool {
+	return p.fmt == diffenc.FormatBaseDiff || p.fmt == diffenc.FormatBaseOnly
+}
+
+// ExtraStats holds the Thesaurus-specific counters behind Figures 15-20.
+// Per-encoding statistics count *placements*: line installs (demand fills
+// and write-allocates) plus write-hit re-encodings, which run the same
+// data path (§5.4.2).
+type ExtraStats struct {
+	// Insertions counts line installs; Reencodes counts write-hit
+	// re-encodings; Placements is their sum.
+	Insertions uint64
+	Reencodes  uint64
+	Placements uint64
+	// ByFormat histograms placements by final encoding (Fig. 17).
+	ByFormat [diffenc.NumFormats]uint64
+	// Compressible counts insertions whose diff against the authoritative
+	// clusteroid (base-cache state notwithstanding) would compress
+	// (Fig. 15; zero lines and new-base installs count as compressible).
+	Compressible uint64
+	// RawDueToBaseMiss counts insertions stored raw only because the base
+	// cache missed (§6.4's lost opportunity).
+	RawDueToBaseMiss uint64
+	// DiffBytesSum/DiffCount accumulate diff sizes for B+D and 0+D
+	// entries (Fig. 18).
+	DiffBytesSum uint64
+	DiffCount    uint64
+	// DataEvictions counts entries forced out of the data array to make
+	// space (tag still resident elsewhere being invalidated, §5.4.1 ➑).
+	DataEvictions uint64
+}
+
+// AvgDiffBytes returns the Fig. 18 metric.
+func (s ExtraStats) AvgDiffBytes() float64 {
+	if s.DiffCount == 0 {
+		return 0
+	}
+	return float64(s.DiffBytesSum) / float64(s.DiffCount)
+}
+
+// CompressibleFraction returns the Fig. 15 metric.
+func (s ExtraStats) CompressibleFraction() float64 {
+	if s.Placements == 0 {
+		return 0
+	}
+	return float64(s.Compressible) / float64(s.Placements)
+}
+
+// FormatFraction returns the share of placements using format f (Fig. 17).
+func (s ExtraStats) FormatFraction(f diffenc.Format) float64 {
+	if s.Placements == 0 {
+		return 0
+	}
+	return float64(s.ByFormat[f]) / float64(s.Placements)
+}
+
+// Cache is a Thesaurus LLC.
+type Cache struct {
+	cfg    Config
+	hasher *lsh.Hasher
+	tags   *cache.Array[tagPayload]
+	data   *DataArray
+	table  *BaseTable
+	bcache *BaseCache
+	mem    *memory.Store
+	rng    *xrand.Rand
+
+	stats      llc.Stats
+	extra      ExtraStats
+	diffSeries *stats.Series
+
+	adaptive      adaptiveState
+	adaptiveStats AdaptiveStats
+}
+
+var _ llc.Cache = (*Cache)(nil)
+
+// New builds a Thesaurus LLC over mem.
+func New(cfg Config, mem *memory.Store) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hasher, err := lsh.New(cfg.LSH)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:    cfg,
+		hasher: hasher,
+		tags: cache.New[tagPayload](cache.Config{
+			Entries: cfg.TagEntries, Ways: cfg.TagWays, Policy: "plru",
+		}),
+		data:   NewDataArray(cfg.DataSets, cfg.SegmentsPerSet),
+		table:  NewBaseTable(cfg.LSH.Bits, mem),
+		bcache: NewBaseCache(cfg.BaseCacheSets, cfg.BaseCacheWays),
+		mem:    mem,
+		rng:    xrand.New(cfg.Seed),
+	}
+	c.bcache.LowPriorityInsert = !cfg.BaseCachePlainLRU
+	if cfg.DiffSeriesWindow > 0 {
+		c.diffSeries = stats.NewSeries(cfg.DiffSeriesWindow)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config, mem *memory.Store) *Cache {
+	c, err := New(cfg, mem)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name implements llc.Cache.
+func (c *Cache) Name() string { return "Thesaurus" }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// BaseCache exposes the base cache for the Fig. 20 sweep.
+func (c *Cache) BaseCache() *BaseCache { return c.bcache }
+
+// BaseTable exposes the base table for the Fig. 16 sampling.
+func (c *Cache) BaseTable() *BaseTable { return c.table }
+
+// Extra returns the Thesaurus-specific statistics.
+func (c *Cache) Extra() ExtraStats { return c.extra }
+
+// DiffSeries returns the Fig. 19 time series (nil unless enabled).
+func (c *Cache) DiffSeries() []float64 {
+	if c.diffSeries == nil {
+		return nil
+	}
+	return c.diffSeries.Points()
+}
+
+// Read implements llc.Cache (§5.4.1, Fig. 12).
+func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
+	addr = addr.LineAddr()
+	c.stats.Reads++
+	if e, _ := c.tags.Lookup(addr); e != nil {
+		c.stats.ReadHits++
+		c.observeAccess(true)
+		return c.decode(e), true
+	}
+	// Miss: fetch from memory, return data immediately; insertion happens
+	// off the critical path.
+	c.observeAccess(false)
+	data := c.mem.Read(addr, memory.Fill)
+	c.stats.Fills++
+	c.install(addr, data, false)
+	return data, false
+}
+
+// Write implements llc.Cache (§5.4.2): the new content may change the
+// encoding and size, so the line is re-encoded through the full data path.
+func (c *Cache) Write(addr line.Addr, data line.Line) bool {
+	addr = addr.LineAddr()
+	c.stats.Writes++
+	if e, idx := c.tags.Lookup(addr); e != nil {
+		c.stats.WriteHits++
+		c.observeAccess(true)
+		c.dropPayload(e)
+		c.place(e, idx, data, true)
+		c.extra.Reencodes++
+		return true
+	}
+	c.observeAccess(false)
+	c.install(addr, data, true)
+	return false
+}
+
+// install allocates a tag for addr (evicting as needed) and runs the
+// insertion data path.
+func (c *Cache) install(addr line.Addr, data line.Line, dirty bool) {
+	e, idx, evicted, had := c.tags.Insert(addr)
+	if had {
+		c.retire(evicted)
+	}
+	c.place(e, idx, data, dirty)
+	c.extra.Insertions++
+}
+
+// retire handles a tag evicted by the tag replacement policy: write back
+// dirty contents, free the data entry, and release the base reference.
+func (c *Cache) retire(evicted cache.Entry[tagPayload]) {
+	if evicted.Dirty {
+		c.mem.Write(evicted.Addr, c.decodeEntry(&evicted), memory.Writeback)
+		c.stats.Writebacks++
+	}
+	if evicted.Payload.hasData() {
+		c.data.Remove(int(evicted.Payload.setPtr), int(evicted.Payload.slotIdx))
+	}
+	c.releaseBase(evicted.Payload)
+}
+
+// dropPayload releases a resident tag's data entry and base reference in
+// preparation for re-encoding (write hits). The tag itself stays valid.
+func (c *Cache) dropPayload(e *cache.Entry[tagPayload]) {
+	if e.Payload.hasData() {
+		c.data.Remove(int(e.Payload.setPtr), int(e.Payload.slotIdx))
+	}
+	c.releaseBase(e.Payload)
+	e.Payload = tagPayload{setPtr: -1, slotIdx: -1}
+}
+
+// releaseBase decrements the clusteroid refcount for referencing formats.
+// When the count reaches zero the base is retired lazily: it stays in the
+// table but will be replaced by the next incoming line for that LSH
+// (§5.2.3).
+func (c *Cache) releaseBase(p tagPayload) {
+	if !p.refsBase() {
+		return
+	}
+	ent := c.table.entry(p.fp)
+	if !ent.Valid || ent.Cntr == 0 {
+		panic("thesaurus: base refcount underflow")
+	}
+	ent.Cntr--
+}
+
+// place runs the insertion data path (Fig. 12 b+c) for a valid tag entry
+// with an empty payload, encoding data and allocating data-array space.
+func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool) {
+	e.Dirty = dirty
+	e.Payload = tagPayload{setPtr: -1, slotIdx: -1}
+	c.extra.Placements++
+	defer func() { c.extra.ByFormat[e.Payload.fmt]++ }()
+
+	// All-zero lines are identified in the tag alone (detected by a
+	// comparator even when the adaptive detector has compression off).
+	if data.IsZero() {
+		e.Payload.fmt = diffenc.FormatAllZero
+		c.extra.Compressible++
+		return
+	}
+
+	// Cache-insensitive epoch (§6.1/§6.3 extension): skip the LSH and
+	// base-cache machinery entirely and store raw.
+	if c.compressionDisabled() {
+		e.Payload.fmt = diffenc.FormatRaw
+		c.adaptiveStats.DisabledPlacements++
+		c.allocData(e, tagIdx, diffenc.Encoded{Format: diffenc.FormatRaw, Raw: data})
+		return
+	}
+
+	fp := c.hasher.Fingerprint(&data)
+	e.Payload.fp = fp
+	ent := c.table.entry(fp)
+
+	// Fig. 15 accounting: would this line compress against the
+	// authoritative clusteroid (ignoring base-cache state)?
+	if !ent.Valid || ent.Cntr == 0 ||
+		line.DiffBytes(&data, &ent.Base) <= diffenc.MaxCompressibleDiffBytes {
+		c.extra.Compressible++
+	}
+
+	// Base-cache access on the insertion path. A miss means the base is
+	// not available in time: store raw while the entry is fetched (§5.4.1).
+	if !c.bcache.Access(fp, c.table, false) {
+		if !ent.Valid {
+			// No clusteroid existed; seed the table so future insertions
+			// for this fingerprint can cluster.
+			ent.Valid = true
+			ent.Base = data
+			ent.Cntr = 0
+		}
+		c.extra.RawDueToBaseMiss++
+		c.placeUnclustered(e, tagIdx, data)
+		return
+	}
+
+	// Base cache hit: the clusteroid (if any) is at hand.
+	if !ent.Valid || ent.Cntr == 0 {
+		// No live cluster: this line becomes the (new) clusteroid.
+		ent.Valid = true
+		ent.Base = data
+		ent.Cntr = 1
+		e.Payload.fmt = diffenc.FormatBaseOnly
+		return
+	}
+
+	enc := diffenc.Encode(&data, &ent.Base)
+	switch enc.Format {
+	case diffenc.FormatBaseOnly:
+		e.Payload.fmt = enc.Format
+		ent.Cntr++
+		return
+	case diffenc.FormatBaseDiff:
+		ent.Cntr++
+	}
+	if n := enc.DiffBytes(); n > 0 {
+		c.extra.DiffBytesSum += uint64(n)
+		c.extra.DiffCount++
+		if c.diffSeries != nil {
+			c.diffSeries.Add(float64(n))
+		}
+	}
+	if enc.Format == diffenc.FormatRaw {
+		c.placeUnclustered(e, tagIdx, data)
+		return
+	}
+	e.Payload.fmt = enc.Format
+	c.allocData(e, tagIdx, enc)
+}
+
+// placeUnclustered stores a line that did not join a cluster: raw, or —
+// when the 2DCC-style IntraLineFallback extension is enabled — intra-line
+// compressed with BΔI if that helps.
+func (c *Cache) placeUnclustered(e *cache.Entry[tagPayload], tagIdx int, data line.Line) {
+	if c.cfg.IntraLineFallback {
+		if intra := bdi.Compress(&data); intra.Compressed() {
+			e.Payload.fmt = diffenc.FormatIntra
+			c.allocData(e, tagIdx, diffenc.NewIntra(data, intra.SizeBytes()))
+			return
+		}
+	}
+	e.Payload.fmt = diffenc.FormatRaw
+	c.allocData(e, tagIdx, diffenc.Encoded{Format: diffenc.FormatRaw, Raw: data})
+}
+
+// allocData finds data-array space for enc using the best-of-n victim
+// policy (§5.4.3), evicting entries (and their tags) as needed, and wires
+// the tag's setptr/segix.
+func (c *Cache) allocData(e *cache.Entry[tagPayload], tagIdx int, enc diffenc.Encoded) {
+	need := enc.Segments()
+	set := c.chooseVictimSet(need)
+	plan, ok := c.data.VictimPlan(set, need)
+	if !ok {
+		panic("thesaurus: victim plan infeasible for a single entry")
+	}
+	for _, slotIdx := range plan {
+		c.evictDataEntry(set, slotIdx)
+	}
+	slotIdx := c.data.Insert(set, enc, tagIdx)
+	e.Payload.setPtr = int32(set)
+	e.Payload.slotIdx = int32(slotIdx)
+}
+
+// chooseVictimSet samples VictimCandidates distinct-ish data sets; the
+// first with enough free space wins, otherwise the one evicting the
+// fewest segments (§5.4.3).
+func (c *Cache) chooseVictimSet(need int) int {
+	best := -1
+	bestCost := int(^uint(0) >> 1)
+	for i := 0; i < c.cfg.VictimCandidates; i++ {
+		s := c.rng.Intn(c.data.NumSets())
+		cost := c.data.EvictionCost(s, need)
+		if cost == 0 {
+			return s
+		}
+		if cost < bestCost {
+			best, bestCost = s, cost
+		}
+	}
+	return best
+}
+
+// evictDataEntry removes the entry at (set, slot) from the data array,
+// evicting its owning tag (with writeback if dirty) first.
+func (c *Cache) evictDataEntry(set, slotIdx int) {
+	tagIdx := c.data.TagOf(set, slotIdx)
+	te := c.tags.EntryAt(tagIdx)
+	if !te.Valid || int(te.Payload.setPtr) != set || int(te.Payload.slotIdx) != slotIdx {
+		panic("thesaurus: data entry / tag back-pointer mismatch")
+	}
+	if te.Dirty {
+		c.mem.Write(te.Addr, c.decode(te), memory.Writeback)
+		c.stats.Writebacks++
+	}
+	old := c.tags.InvalidateIndex(tagIdx)
+	c.data.Remove(set, slotIdx)
+	c.releaseBase(old.Payload)
+	c.extra.DataEvictions++
+}
+
+// decode reconstructs the line for a resident tag, modelling base-cache
+// accesses on the read path for base-referencing formats.
+func (c *Cache) decode(e *cache.Entry[tagPayload]) line.Line {
+	if e.Payload.refsBase() {
+		c.bcache.Access(e.Payload.fp, c.table, true)
+	}
+	return c.decodeEntry(e)
+}
+
+// decodeEntry reconstructs the line without base-cache accounting (used
+// for writebacks, which the paper services off the critical path).
+func (c *Cache) decodeEntry(e *cache.Entry[tagPayload]) line.Line {
+	p := e.Payload
+	var base *line.Line
+	if p.refsBase() {
+		ent := c.table.entry(p.fp)
+		if !ent.Valid {
+			panic("thesaurus: base-referencing entry without table base")
+		}
+		base = &ent.Base
+	}
+	var enc diffenc.Encoded
+	switch p.fmt {
+	case diffenc.FormatAllZero, diffenc.FormatBaseOnly:
+		enc = diffenc.Encoded{Format: p.fmt}
+	default:
+		enc = *c.data.Get(int(p.setPtr), int(p.slotIdx))
+	}
+	out, err := diffenc.Decode(enc, base)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// DecompressionCycles reports the extra critical-path hit latency: one
+// cycle to decompress plus four to locate the block via the indirect
+// segix encoding (Table 4).
+func (c *Cache) DecompressionCycles() float64 { return 5 }
+
+// CriticalDRAMAccesses reports read-path base-cache misses, each of which
+// stalls on a DRAM base-table fetch (§6.4).
+func (c *Cache) CriticalDRAMAccesses() uint64 {
+	return c.bcache.ReadPath.Total - c.bcache.ReadPath.Hits
+}
+
+// Stats implements llc.Cache.
+func (c *Cache) Stats() llc.Stats { return c.stats }
+
+// ResetStats implements llc.Cache: clears access statistics while
+// preserving cache contents (end-of-warmup semantics).
+func (c *Cache) ResetStats() {
+	c.stats = llc.Stats{}
+	c.extra = ExtraStats{}
+	c.tags.ResetStats()
+	c.bcache.ReadPath = stats.Counter{}
+	c.bcache.InsertPath = stats.Counter{}
+	if c.cfg.DiffSeriesWindow > 0 {
+		c.diffSeries = stats.NewSeries(c.cfg.DiffSeriesWindow)
+	}
+}
+
+// Footprint implements llc.Cache: the Fig. 13a occupancy metric.
+func (c *Cache) Footprint() llc.Footprint {
+	return llc.Footprint{
+		ResidentLines:  c.tags.CountValid(),
+		DataBytesUsed:  c.data.UsedBytes(),
+		DataBytesTotal: c.data.CapacityBytes(),
+	}
+}
+
+// CheckInvariants cross-validates tag/data/base-table bookkeeping; tests
+// call it after randomized operation sequences.
+func (c *Cache) CheckInvariants() error {
+	if err := c.data.CheckInvariants(); err != nil {
+		return err
+	}
+	// Every data entry's tag points back at it.
+	var err error
+	c.data.ForEachEntry(func(set, slotIdx int, _ *diffenc.Encoded, tagIdx int) {
+		te := c.tags.EntryAt(tagIdx)
+		if !te.Valid || int(te.Payload.setPtr) != set || int(te.Payload.slotIdx) != slotIdx {
+			err = fmt.Errorf("data entry (%d,%d) tagptr %d stale", set, slotIdx, tagIdx)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Base refcounts equal the number of referencing tags.
+	refs := make(map[lsh.Fingerprint]uint32)
+	c.tags.ForEach(func(_ int, te *cache.Entry[tagPayload]) {
+		if te.Payload.refsBase() {
+			refs[te.Payload.fp]++
+		}
+	})
+	for fp, want := range refs {
+		ent := c.table.entry(fp)
+		if !ent.Valid || ent.Cntr != want {
+			return fmt.Errorf("base %#x: cntr=%d but %d referencing tags", fp, ent.Cntr, want)
+		}
+	}
+	// And no base claims references it does not have.
+	for i := 0; i < c.table.Len(); i++ {
+		ent := &c.table.entries[i]
+		if ent.Cntr != 0 && refs[lsh.Fingerprint(i)] != ent.Cntr {
+			return fmt.Errorf("base %#x: cntr=%d but %d referencing tags", i, ent.Cntr, refs[lsh.Fingerprint(i)])
+		}
+	}
+	return nil
+}

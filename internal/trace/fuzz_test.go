@@ -1,0 +1,30 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead: arbitrary bytes must never panic the trace parser.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, []Access{{Addr: 0x1000, Write: true, Gap: 3}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(make([]byte, 11))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		accesses, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize and re-parse identically.
+		var out bytes.Buffer
+		if err := Write(&out, accesses); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(&out)
+		if err != nil || len(again) != len(accesses) {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+	})
+}

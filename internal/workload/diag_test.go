@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/lsh"
+)
+
+// TestDiagMcfClusters is a diagnostic for profile calibration: it prints
+// the fingerprint population and intra-cluster diff sizes of the mcf
+// node region. Run with -v to see the report.
+func TestDiagMcfClusters(t *testing.T) {
+	p, err := ProfileByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unwrap the node RecordsGen from the region mixture.
+	var gen *RecordsGen
+	for _, r := range p.Regions {
+		if mix, ok := r.Gen.(*MixGen); ok {
+			for _, g := range mix.gens {
+				if rec, ok := g.(*RecordsGen); ok && rec.RecordSize == 68 {
+					gen = rec
+				}
+			}
+		}
+	}
+	if gen == nil {
+		t.Fatal("mcf node generator not found")
+	}
+	h := lsh.MustNew(lsh.DefaultConfig())
+
+	const n = 8192
+	byFP := make(map[lsh.Fingerprint][]int)
+	lines := make([]line.Line, n)
+	for i := 0; i < n; i++ {
+		lines[i] = gen.Line(i, 0)
+		fp := h.Fingerprint(&lines[i])
+		byFP[fp] = append(byFP[fp], i)
+	}
+	t.Logf("distinct fingerprints: %d for %d lines", len(byFP), n)
+
+	// Per-fingerprint: diff of each member against the first (clusteroid).
+	var diffs []int
+	var zeroDiffWins int
+	var sizes []int
+	for _, members := range byFP {
+		base := &lines[members[0]]
+		for _, m := range members[1:] {
+			d := line.DiffBytes(&lines[m], base)
+			diffs = append(diffs, d)
+			enc := diffenc.Encode(&lines[m], base)
+			if enc.Format == diffenc.FormatZeroDiff {
+				zeroDiffWins++
+			}
+			sizes = append(sizes, len(members))
+		}
+	}
+	sort.Ints(diffs)
+	if len(diffs) > 0 {
+		sum := 0
+		for _, d := range diffs {
+			sum += d
+		}
+		t.Logf("diff vs clusteroid: mean=%.1f p50=%d p90=%d  0+D wins=%d/%d (%.1f%%)",
+			float64(sum)/float64(len(diffs)), diffs[len(diffs)/2], diffs[len(diffs)*9/10],
+			zeroDiffWins, len(diffs), 100*float64(zeroDiffWins)/float64(len(diffs)))
+	}
+	// Phase-class analysis: lines in the same (phase, proto-run) bucket.
+	rs := gen
+	classOf := func(i int) string {
+		phase := (i * line.Size) % rs.RecordSize
+		r := i * line.Size / rs.RecordSize
+		proto := (r / rs.ProtoRun) % len(rs.protos)
+		return fmt.Sprintf("%d/%d", phase, proto)
+	}
+	classMembers := map[string][]int{}
+	for i := 0; i < n; i++ {
+		classMembers[classOf(i)] = append(classMembers[classOf(i)], i)
+	}
+	var intraSum, intraN int
+	for _, mem := range classMembers {
+		for j := 1; j < len(mem) && j < 40; j++ {
+			intraSum += line.DiffBytes(&lines[mem[0]], &lines[mem[j]])
+			intraN++
+		}
+	}
+	if intraN > 0 {
+		t.Logf("same (phase,proto) class diff: mean=%.1f over %d pairs (classes=%d)",
+			float64(intraSum)/float64(intraN), intraN, len(classMembers))
+	}
+	// How coherently does each class map to fingerprints?
+	classFPs := map[string]map[lsh.Fingerprint]int{}
+	fpClasses := map[lsh.Fingerprint]map[string]int{}
+	for i := 0; i < n; i++ {
+		c := classOf(i)
+		fp := h.Fingerprint(&lines[i])
+		if classFPs[c] == nil {
+			classFPs[c] = map[lsh.Fingerprint]int{}
+		}
+		classFPs[c][fp]++
+		if fpClasses[fp] == nil {
+			fpClasses[fp] = map[string]int{}
+		}
+		fpClasses[fp][c]++
+	}
+	totFrag, maxFrag := 0, 0
+	for _, m := range classFPs {
+		totFrag += len(m)
+		if len(m) > maxFrag {
+			maxFrag = len(m)
+		}
+	}
+	totShare := 0
+	for _, m := range fpClasses {
+		totShare += len(m)
+	}
+	t.Logf("class→fp fragmentation: mean=%.2f max=%d; fp→class sharing: mean=%.2f",
+		float64(totFrag)/float64(len(classFPs)), maxFrag,
+		float64(totShare)/float64(len(fpClasses)))
+}

@@ -1,0 +1,107 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestPublicAPIQuickstart exercises the facade end-to-end the way the
+// README's quick start does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	mem := repro.NewMemory()
+	cache := repro.MustNewCache(repro.DefaultConfig(), mem)
+
+	var proto repro.Line
+	for i := range proto {
+		proto[i] = byte(i*3 + 1)
+	}
+	for i := 0; i < 256; i++ {
+		l := proto
+		l[4] = byte(i)
+		mem.Poke(repro.Addr(i*repro.LineSize), l)
+	}
+	for i := 0; i < 256; i++ {
+		addr := repro.Addr(i * repro.LineSize)
+		got, _ := cache.Read(addr)
+		if got != mem.Peek(addr) {
+			t.Fatalf("read mismatch at %#x", uint64(addr))
+		}
+	}
+	fp := cache.Footprint()
+	if fp.ResidentLines != 256 {
+		t.Fatalf("resident %d", fp.ResidentLines)
+	}
+	if fp.CompressionRatio() < 2 {
+		t.Fatalf("near-duplicates compressed only %.2fx", fp.CompressionRatio())
+	}
+}
+
+func TestPublicAPILSHAndEncodings(t *testing.T) {
+	h, err := repro.NewLSH(repro.DefaultLSHConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a repro.Line
+	for i := range a {
+		a[i] = byte(i)
+	}
+	b := a
+	b[9] ^= 2
+	if h.Fingerprint(&a) != h.Fingerprint(&b) {
+		t.Skip("rare fingerprint split for a 1-byte nudge")
+	}
+	enc := repro.Encode(&b, &a)
+	if enc.Format != repro.FormatBaseDiff {
+		t.Fatalf("format %v", enc.Format)
+	}
+	back, err := repro.Decode(enc, &a)
+	if err != nil || back != b {
+		t.Fatal("round trip")
+	}
+	if e := repro.CompressBDI(&repro.Line{}); e.SizeBytes() != 1 {
+		t.Fatalf("BΔI zero line %d bytes", e.SizeBytes())
+	}
+	if repro.DiffBytes(&a, &b) != 1 {
+		t.Fatal("DiffBytes")
+	}
+}
+
+func TestPublicAPISimulation(t *testing.T) {
+	p, err := repro.ProfileByName("exchange2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := p.Generate(40_000)
+	sys := repro.DefaultSystem()
+	rec := repro.Record(gen.Stream, sys, gen.Image)
+
+	for _, build := range []func(*repro.Memory) (repro.LLC, error){
+		func(m *repro.Memory) (repro.LLC, error) { return repro.NewConventional("conv", 1<<20, m), nil },
+		repro.NewBDICache,
+		repro.NewDedupCache,
+		func(m *repro.Memory) (repro.LLC, error) { return repro.NewCache(repro.DefaultConfig(), m) },
+		func(m *repro.Memory) (repro.LLC, error) { return repro.NewIdealCache(m), nil },
+	} {
+		mem := repro.NewMemory()
+		c, err := build(mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := repro.Replay(c, rec, mem, sys, repro.ReplayOptions{
+			WarmupFraction: 0.25, SampleEvery: 512, Verify: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if res.IPC <= 0 {
+			t.Fatalf("%s: IPC %v", c.Name(), res.IPC)
+		}
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	if n := len(repro.Profiles()); n != 22 {
+		t.Fatalf("%d profiles", n)
+	}
+}
