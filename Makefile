@@ -1,0 +1,28 @@
+# Repository verification targets. `make ci` is the gate: vet, build,
+# the full test suite, and a race-detector pass over the packages that
+# own the campaign worker pools.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker pools live in harness (RunMatrix, ParMap) and are driven by
+# the experiments package; -race over their tests catches data races in
+# the parallel campaign paths. Short trace lengths keep this a smoke
+# pass, not a full campaign.
+race:
+	$(GO) test -race -count=1 ./internal/harness ./internal/experiments
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./internal/line ./internal/diffenc ./internal/lsh

@@ -14,12 +14,17 @@
 //	-n N          accesses per benchmark profile (default 2,000,000)
 //	-profiles csv comma-separated profile subset (default: all 22)
 //	-quick        reduced trace length for a fast smoke run
+//	-workers N    bound experiment concurrency (0 = GOMAXPROCS, 1 = serial)
+//	-cpuprofile f write a pprof CPU profile of the whole campaign to f
+//	-memprofile f write a pprof heap profile at exit to f
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +37,9 @@ func main() {
 	n := flag.Int("n", harness.DefaultAccesses, "accesses per benchmark profile")
 	profilesFlag := flag.String("profiles", "", "comma-separated profile subset")
 	quick := flag.Bool("quick", false, "reduced trace length (smoke run)")
+	workers := flag.Int("workers", 0, "experiment concurrency (0 = GOMAXPROCS, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write pprof CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write pprof heap profile to file")
 	flag.Parse()
 
 	opt := experiments.Default()
@@ -39,6 +47,7 @@ func main() {
 	if *quick {
 		opt = experiments.Quick()
 	}
+	opt.Workers = *workers
 	if *profilesFlag != "" {
 		opt.Profiles = strings.Split(*profilesFlag, ",")
 		for _, p := range opt.Profiles {
@@ -59,6 +68,25 @@ func main() {
 		args = []string{"table1", "table2", "fig1", "fig2", "fig5", "fig13", "table3", "fig14",
 			"table4", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablate"}
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	type timing struct {
+		exp string
+		d   time.Duration
+	}
+	var timings []timing
+	campaign := time.Now()
 	for _, exp := range args {
 		t0 := time.Now()
 		out, err := run(exp, opt)
@@ -66,7 +94,29 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(out)
-		fmt.Printf("[%s completed in %.1fs]\n", exp, time.Since(t0).Seconds())
+		d := time.Since(t0)
+		timings = append(timings, timing{exp, d})
+		fmt.Printf("[%s completed in %.1fs]\n", exp, d.Seconds())
+	}
+	if len(timings) > 1 {
+		fmt.Printf("\nCampaign timing (workers=%d, GOMAXPROCS=%d)\n", *workers, runtime.GOMAXPROCS(0))
+		fmt.Println("==========================================")
+		for _, t := range timings {
+			fmt.Printf("%-10s %8.1fs\n", t.exp, t.d.Seconds())
+		}
+		fmt.Printf("%-10s %8.1fs\n", "total", time.Since(campaign).Seconds())
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail(err)
+		}
 	}
 }
 

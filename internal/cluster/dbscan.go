@@ -8,7 +8,9 @@
 package cluster
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/diffenc"
 	"repro/internal/line"
@@ -60,6 +62,16 @@ func (r Result) MaxClusterSize() int {
 // 8-byte word unless all eight words differ, so a bounded brute-force
 // sweep supplements the index for correctness on small inputs.
 func Run(lines []line.Line, p Params) Result {
+	return runWith(lines, p, buildNeighbours(lines, p.Eps))
+}
+
+// runWith is the DBSCAN core over prebuilt eps-neighbourhood lists. The
+// outcome is invariant to the ordering within each neighbour list:
+// clusters are seeded at the lowest unvisited core index and expanded to
+// completion before the next seed, so every point's label depends only on
+// the neighbourhood sets. This lets TuneEps derive the lists from a
+// precomputed distance matrix without changing any result.
+func runWith(lines []line.Line, p Params, neighbours [][]int) Result {
 	n := len(lines)
 	res := Result{Labels: make([]int, n)}
 	for i := range res.Labels {
@@ -68,8 +80,6 @@ func Run(lines []line.Line, p Params) Result {
 	if n == 0 {
 		return res
 	}
-
-	neighbours := buildNeighbours(lines, p.Eps)
 
 	visited := make([]bool, n)
 	for i := 0; i < n; i++ {
@@ -182,6 +192,100 @@ func buildNeighbours(lines []line.Line, eps int) [][]int {
 	return out
 }
 
+// matrixCap bounds the snapshot size for which TuneEps precomputes the
+// full pairwise distance matrix (n(n-1)/2 bytes). It matches the exact
+// O(n²) cutoff in buildNeighbours: above it the word-bucket index is used
+// per grid point instead.
+const matrixCap = 4096
+
+// DistanceMatrix holds the strict upper triangle of the pairwise
+// DiffBytes matrix of a snapshot, row-major: row i covers j in (i, n).
+// Distances fit a byte (0..line.Size).
+type DistanceMatrix struct {
+	n int
+	d []uint8
+}
+
+// rowStart returns the offset of row i's first entry (pair (i, i+1)).
+func (m *DistanceMatrix) rowStart(i int) int { return i * (2*m.n - i - 1) / 2 }
+
+// At returns DiffBytes(lines[i], lines[j]) for i != j.
+func (m *DistanceMatrix) At(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return int(m.d[m.rowStart(i)+j-i-1])
+}
+
+// NewDistanceMatrix computes all pairwise DiffBytes distances once,
+// splitting the rows across workers (workers <= 0 means GOMAXPROCS).
+// Every worker writes disjoint offsets of a preallocated slice, so the
+// result is identical for any worker count or schedule.
+func NewDistanceMatrix(lines []line.Line, workers int) *DistanceMatrix {
+	n := len(lines)
+	m := &DistanceMatrix{n: n, d: make([]uint8, n*(n-1)/2)}
+	if n < 2 {
+		return m
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n-1 {
+		workers = n - 1
+	}
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.d[m.rowStart(i):m.rowStart(i+1)]
+			for j := i + 1; j < n; j++ {
+				row[j-i-1] = uint8(line.DiffBytes(&lines[i], &lines[j]))
+			}
+		}
+	}
+	if workers == 1 {
+		fill(0, n-1)
+		return m
+	}
+	// Early rows are longer than late ones; interleaving blocks would
+	// balance better, but contiguous chunks sized by remaining area keep
+	// the code simple and the imbalance is bounded by the chunk count.
+	var wg sync.WaitGroup
+	per := (len(m.d) + workers - 1) / workers
+	lo := 0
+	for lo < n-1 {
+		hi := lo + 1
+		for hi < n-1 && m.rowStart(hi+1)-m.rowStart(lo) < per {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fill(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return m
+}
+
+// appendNeighbours adds to each list the pairs whose distance lies in
+// [lo, hi], scanning the upper triangle in (i, j) order. Growing the
+// lists band-by-band lets one matrix serve every grid point of a sweep.
+func (m *DistanceMatrix) appendNeighbours(neighbours [][]int, lo, hi int) {
+	if lo > hi {
+		return
+	}
+	for i := 0; i < m.n-1; i++ {
+		row := m.d[m.rowStart(i):m.rowStart(i+1)]
+		for k, d := range row {
+			if int(d) >= lo && int(d) <= hi {
+				j := i + 1 + k
+				neighbours[i] = append(neighbours[i], j)
+				neighbours[j] = append(neighbours[j], i)
+			}
+		}
+	}
+}
+
 // SpaceSavings estimates the fraction of data-array space saved by
 // compressing the snapshot under the clustering: each cluster stores one
 // raw clusteroid (its first member) and base+diff encodings for the rest;
@@ -223,6 +327,11 @@ func SpaceSavings(lines []line.Line, r Result) float64 {
 // unrepresentative clusteroid — so the tuner sweeps a radius grid and,
 // when the target is unreachable for the snapshot's content, returns the
 // savings-maximizing radius instead.
+//
+// Snapshots up to matrixCap lines pay the O(n²) DiffBytes pass exactly
+// once: the pairwise distance matrix is computed up front (parallelized
+// across row blocks) and each grid point's neighbour lists are derived by
+// thresholding it, instead of rebuilding them per grid point.
 func TuneEps(lines []line.Line, target float64, minPts int) (Params, Result) {
 	var grid []int
 	for e := 0; e <= 16; e++ {
@@ -234,13 +343,28 @@ func TuneEps(lines []line.Line, target float64, minPts int) (Params, Result) {
 	for e := 36; e <= line.Size; e += 4 {
 		grid = append(grid, e)
 	}
+	n := len(lines)
+	var dm *DistanceMatrix
+	var neighbours [][]int
+	prevEps := -1
+	if n <= matrixCap {
+		dm = NewDistanceMatrix(lines, 0)
+		neighbours = make([][]int, n)
+	}
 	bestP := Params{Eps: 0, MinPts: minPts}
 	var bestR Result
 	bestS := -1.0
 	declines := 0
 	for _, eps := range grid {
 		p := Params{Eps: eps, MinPts: minPts}
-		r := Run(lines, p)
+		var r Result
+		if dm != nil {
+			dm.appendNeighbours(neighbours, prevEps+1, eps)
+			prevEps = eps
+			r = runWith(lines, p, neighbours)
+		} else {
+			r = Run(lines, p)
+		}
 		s := SpaceSavings(lines, r)
 		if s >= target {
 			return p, r

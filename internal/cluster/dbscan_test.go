@@ -177,6 +177,105 @@ func TestLargeSnapshotBucketPath(t *testing.T) {
 	}
 }
 
+func TestDistanceMatrixMatchesDiffBytes(t *testing.T) {
+	lines := mkCluster(77, 40, 20)
+	for _, workers := range []int{1, 4} {
+		m := NewDistanceMatrix(lines, workers)
+		for i := range lines {
+			for j := range lines {
+				if i == j {
+					continue
+				}
+				if got, want := m.At(i, j), line.DiffBytes(&lines[i], &lines[j]); got != want {
+					t.Fatalf("workers=%d At(%d,%d) = %d, want %d", workers, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTuneEpsMatchesPerEpsReference verifies the precomputed-matrix sweep
+// against the reference tuner that rebuilds neighbour lists per grid
+// point (the pre-optimization behaviour): Params and the full Result
+// must be identical.
+func TestTuneEpsMatchesPerEpsReference(t *testing.T) {
+	refTune := func(lines []line.Line, target float64, minPts int) (Params, Result) {
+		var grid []int
+		for e := 0; e <= 16; e++ {
+			grid = append(grid, e)
+		}
+		for e := 18; e <= 32; e += 2 {
+			grid = append(grid, e)
+		}
+		for e := 36; e <= line.Size; e += 4 {
+			grid = append(grid, e)
+		}
+		bestP := Params{Eps: 0, MinPts: minPts}
+		var bestR Result
+		bestS := -1.0
+		declines := 0
+		for _, eps := range grid {
+			p := Params{Eps: eps, MinPts: minPts}
+			r := Run(lines, p)
+			s := SpaceSavings(lines, r)
+			if s >= target {
+				return p, r
+			}
+			if s > bestS {
+				bestP, bestR, bestS = p, r, s
+				declines = 0
+			} else if s < bestS-1e-12 {
+				declines++
+				if declines >= 4 {
+					break
+				}
+			}
+		}
+		return bestP, bestR
+	}
+	sameResult := func(a, b Result) bool {
+		if a.NumClusters != b.NumClusters || len(a.Labels) != len(b.Labels) || len(a.Sizes) != len(b.Sizes) {
+			return false
+		}
+		for i := range a.Labels {
+			if a.Labels[i] != b.Labels[i] {
+				return false
+			}
+		}
+		for i := range a.Sizes {
+			if a.Sizes[i] != b.Sizes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cases := [][]line.Line{
+		mkCluster(1, 50, 4),  // reaches the target early
+		mkCluster(2, 30, 60), // wide spread: sweeps far
+		append(mkCluster(3, 25, 3), mkCluster(4, 25, 3)...), // two clusters
+		nil, // empty snapshot
+	}
+	// High-entropy random lines: mostly noise, target unreachable.
+	rng := xrand.New(99)
+	var random []line.Line
+	for i := 0; i < 40; i++ {
+		var l line.Line
+		for w := 0; w < line.WordsPerLine; w++ {
+			l.SetWord(w, rng.Uint64())
+		}
+		random = append(random, l)
+	}
+	cases = append(cases, random)
+	for ci, lines := range cases {
+		gotP, gotR := TuneEps(lines, 0.40, 2)
+		wantP, wantR := refTune(lines, 0.40, 2)
+		if gotP != wantP || !sameResult(gotR, wantR) {
+			t.Fatalf("case %d: TuneEps diverges from per-eps reference: got (%+v, %d clusters), want (%+v, %d clusters)",
+				ci, gotP, gotR.NumClusters, wantP, wantR.NumClusters)
+		}
+	}
+}
+
 func TestEmptyInput(t *testing.T) {
 	r := Run(nil, DefaultParams())
 	if r.NumClusters != 0 || len(r.Labels) != 0 {

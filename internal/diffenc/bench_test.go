@@ -1,0 +1,52 @@
+package diffenc
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/xrand"
+)
+
+// benchPair builds a base line and a variant with diffBytes differing
+// bytes, the shape of a typical base+diff encode on the replay hot path.
+func benchPair(diffBytes int) (line.Line, line.Line) {
+	rng := xrand.New(0xd1ff)
+	var base line.Line
+	for i := 0; i < line.WordsPerLine; i++ {
+		base.SetWord(i, rng.Uint64())
+	}
+	l := base
+	perm := rng.Perm(line.Size)
+	for j := 0; j < diffBytes; j++ {
+		l[perm[j]] ^= byte(1 + rng.Intn(255))
+	}
+	return l, base
+}
+
+func benchmarkEncode(b *testing.B, diffBytes int) {
+	l, base := benchPair(diffBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Encode(&l, &base)
+	}
+}
+
+func BenchmarkEncodeDiff8(b *testing.B)  { benchmarkEncode(b, 8) }
+func BenchmarkEncodeDiff24(b *testing.B) { benchmarkEncode(b, 24) }
+
+func benchmarkDecode(b *testing.B, diffBytes int) {
+	l, base := benchPair(diffBytes)
+	e := Encode(&l, &base)
+	if e.Format != FormatBaseDiff {
+		b.Fatalf("expected base+diff, got %v", e.Format)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(e, &base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeDiff8(b *testing.B)  { benchmarkDecode(b, 8) }
+func BenchmarkDecodeDiff24(b *testing.B) { benchmarkDecode(b, 24) }

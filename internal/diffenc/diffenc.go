@@ -152,14 +152,15 @@ func Encode(l, base *line.Line) Encoded {
 }
 
 // encodeDiff builds the mask+deltas representation of l against ref.
+// Set bits are visited directly with TrailingZeros64 instead of scanning
+// all 64 byte positions: diffs average well under 16 bytes (Fig. 18), so
+// the loop runs per differing byte, not per position.
 func encodeDiff(f Format, l, ref *line.Line) Encoded {
 	e := Encoded{Format: f, Mask: line.DiffMask(l, ref)}
 	n := bits.OnesCount64(e.Mask)
 	e.Deltas = make([]byte, 0, n)
-	for i := 0; i < line.Size; i++ {
-		if e.Mask&(1<<uint(i)) != 0 {
-			e.Deltas = append(e.Deltas, l[i])
-		}
+	for m := e.Mask; m != 0; m &= m - 1 {
+		e.Deltas = append(e.Deltas, l[bits.TrailingZeros64(m)])
 	}
 	return e
 }
@@ -198,11 +199,9 @@ func applyDiff(ref *line.Line, mask uint64, deltas []byte) (line.Line, error) {
 	}
 	out := *ref
 	j := 0
-	for i := 0; i < line.Size; i++ {
-		if mask&(1<<uint(i)) != 0 {
-			out[i] = deltas[j]
-			j++
-		}
+	for m := mask; m != 0; m &= m - 1 {
+		out[bits.TrailingZeros64(m)] = deltas[j]
+		j++
 	}
 	return out, nil
 }

@@ -191,6 +191,75 @@ func TestDiffSizeBytes(t *testing.T) {
 	}
 }
 
+// naiveEncodeDiff is the 64-position scan the mask-guided encodeDiff
+// replaced; the two must agree bit-for-bit.
+func naiveEncodeDiff(f Format, l, ref *line.Line) Encoded {
+	e := Encoded{Format: f, Mask: line.DiffMask(l, ref)}
+	for i := 0; i < line.Size; i++ {
+		if e.Mask&(1<<uint(i)) != 0 {
+			e.Deltas = append(e.Deltas, l[i])
+		}
+	}
+	return e
+}
+
+// naiveApplyDiff is the positional-scan reference for applyDiff.
+func naiveApplyDiff(ref *line.Line, mask uint64, deltas []byte) line.Line {
+	out := *ref
+	j := 0
+	for i := 0; i < line.Size; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out[i] = deltas[j]
+			j++
+		}
+	}
+	return out
+}
+
+func TestEncodeDiffMatchesReference(t *testing.T) {
+	rng := xrand.New(0xfeed)
+	for trial := 0; trial < 2000; trial++ {
+		var ref line.Line
+		for w := 0; w < line.WordsPerLine; w++ {
+			ref.SetWord(w, rng.Uint64())
+		}
+		l := ref
+		nDiff := rng.Intn(line.Size + 1)
+		perm := rng.Perm(line.Size)
+		for j := 0; j < nDiff; j++ {
+			l[perm[j]] ^= byte(1 + rng.Intn(255))
+		}
+		got := encodeDiff(FormatBaseDiff, &l, &ref)
+		want := naiveEncodeDiff(FormatBaseDiff, &l, &ref)
+		if got.Format != want.Format || got.Mask != want.Mask ||
+			!bytesEqual(got.Deltas, want.Deltas) {
+			t.Fatalf("trial %d: encodeDiff mismatch\ngot  %+v\nwant %+v", trial, got, want)
+		}
+		back, err := applyDiff(&ref, got.Mask, got.Deltas)
+		if err != nil {
+			t.Fatalf("trial %d: applyDiff: %v", trial, err)
+		}
+		if back != l {
+			t.Fatalf("trial %d: applyDiff did not invert encodeDiff", trial)
+		}
+		if naive := naiveApplyDiff(&ref, got.Mask, got.Deltas); naive != back {
+			t.Fatalf("trial %d: applyDiff disagrees with reference", trial)
+		}
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func BenchmarkEncodeNearDuplicate(b *testing.B) {
 	var base line.Line
 	for i := range base {

@@ -30,37 +30,50 @@ func (r *AblationResult) Report() string {
 	return t.String()
 }
 
-// sweep runs a set of Thesaurus configurations over the profiles.
+// sweep runs a set of Thesaurus configurations over the profiles. Both
+// the baseline pass and each configuration's per-profile pass fan out on
+// the harness worker pool; every point aggregates its profiles in input
+// order, so the report is identical to a serial run.
 func sweep(name string, opt Options, configs []struct {
 	label string
 	cfg   thesaurus.Config
 }) (*AblationResult, error) {
 	res := &AblationResult{Name: name}
+	profiles := opt.profiles()
 	// Baseline MPKI for normalization.
-	base := map[string]float64{}
-	for _, p := range opt.profiles() {
-		out, err := harness.Run(p, "Baseline", opt.run())
+	baseMPKI, err := harness.ParMap(len(profiles), opt.Workers, func(i int) (float64, error) {
+		out, err := harness.Run(profiles[i], "Baseline", opt.run())
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		base[p] = out.Res.MPKI
+		return out.Res.MPKI, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, c := range configs {
 		ro := opt.run()
 		cfg := c.cfg
 		ro.Thesaurus = &cfg
-		var crs, nms []float64
-		for _, p := range opt.profiles() {
-			out, err := harness.Run(p, "Thesaurus", ro)
+		type cell struct{ cr, nm float64 }
+		cells, err := harness.ParMap(len(profiles), opt.Workers, func(i int) (cell, error) {
+			out, err := harness.Run(profiles[i], "Thesaurus", ro)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
-			crs = append(crs, out.Res.CompressionRatio)
-			if base[p] > 0 {
-				nms = append(nms, out.Res.MPKI/base[p])
-			} else {
-				nms = append(nms, 1)
+			nm := 1.0
+			if baseMPKI[i] > 0 {
+				nm = out.Res.MPKI / baseMPKI[i]
 			}
+			return cell{cr: out.Res.CompressionRatio, nm: nm}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var crs, nms []float64
+		for _, cl := range cells {
+			crs = append(crs, cl.cr)
+			nms = append(nms, cl.nm)
 		}
 		res.Points = append(res.Points, AblationPoint{
 			Label:     c.label,

@@ -28,6 +28,10 @@ type Options struct {
 	Accesses int
 	// Profiles to evaluate; nil means all 22.
 	Profiles []string
+	// Workers bounds the per-profile concurrency of the experiment
+	// loops (0 = GOMAXPROCS, 1 = serial). Reports are byte-identical
+	// for any value; see the determinism tests.
+	Workers int
 }
 
 // Default returns full-scale options.
@@ -50,6 +54,7 @@ func (o Options) profiles() []string {
 func (o Options) run() harness.RunOptions {
 	ro := harness.DefaultRunOptions()
 	ro.Accesses = o.Accesses
+	ro.Workers = o.Workers
 	return ro
 }
 
@@ -97,22 +102,35 @@ type Fig1Result struct {
 // Fig1 measures the effective LLC capacity of Ideal-Dedup and Ideal-Diff
 // on conventional-LLC snapshots (baseline = 1×).
 func Fig1(opt Options) (*Fig1Result, error) {
+	profiles := opt.profiles()
+	type cell struct {
+		row   Fig1Row
+		lines int
+	}
+	cells, err := harness.ParMap(len(profiles), opt.Workers, func(i int) (cell, error) {
+		lines, err := snapshot(profiles[i], opt)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{
+			row: Fig1Row{
+				Profile:    profiles[i],
+				IdealDedup: ideal.DedupSnapshot(lines),
+				IdealDiff:  ideal.DiffSnapshot(lines),
+			},
+			lines: len(lines),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig1Result{}
 	var dd, df []float64
-	for _, p := range opt.profiles() {
-		lines, err := snapshot(p, opt)
-		if err != nil {
-			return nil, err
-		}
-		row := Fig1Row{
-			Profile:    p,
-			IdealDedup: ideal.DedupSnapshot(lines),
-			IdealDiff:  ideal.DiffSnapshot(lines),
-		}
-		res.Rows = append(res.Rows, row)
-		res.SnapshotLinesTotal += len(lines)
-		dd = append(dd, row.IdealDedup)
-		df = append(df, row.IdealDiff)
+	for _, c := range cells {
+		res.Rows = append(res.Rows, c.row)
+		res.SnapshotLinesTotal += c.lines
+		dd = append(dd, c.row.IdealDedup)
+		df = append(df, c.row.IdealDiff)
 	}
 	res.GeomeanDedup = geomean(dd)
 	res.GeomeanDiff = geomean(df)
@@ -178,34 +196,45 @@ type Fig5Result struct {
 // under subsampling.
 const fig5SnapshotCap = 4096
 
+// strideSample subsamples xs to at most max elements with a uniform
+// stride. A prefix would cover only the start of the slice (for
+// address-sorted snapshots, the lowest-addressed region); the stride
+// spreads the sample across the whole input. The input is returned
+// as-is when it already fits.
+func strideSample[T any](xs []T, max int) []T {
+	if len(xs) <= max {
+		return xs
+	}
+	stride := (len(xs) + max - 1) / max
+	sampled := make([]T, 0, max)
+	for i := 0; i < len(xs); i += stride {
+		sampled = append(sampled, xs[i])
+	}
+	return sampled
+}
+
 // Fig5 runs the clustering motivation experiment.
 func Fig5(opt Options) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, p := range opt.profiles() {
-		lines, err := snapshot(p, opt)
+	profiles := opt.profiles()
+	rows, err := harness.ParMap(len(profiles), opt.Workers, func(i int) (Fig5Row, error) {
+		lines, err := snapshot(profiles[i], opt)
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
-		if len(lines) > fig5SnapshotCap {
-			// Subsample with a stride: a prefix of the address-sorted
-			// snapshot would cover only the lowest-addressed region.
-			stride := (len(lines) + fig5SnapshotCap - 1) / fig5SnapshotCap
-			var sampled []line.Line
-			for i := 0; i < len(lines); i += stride {
-				sampled = append(sampled, lines[i])
-			}
-			lines = sampled
-		}
+		lines = strideSample(lines, fig5SnapshotCap)
 		params, r := cluster.TuneEps(lines, 0.40, 2)
-		res.Rows = append(res.Rows, Fig5Row{
-			Profile:    p,
+		return Fig5Row{
+			Profile:    profiles[i],
 			Eps:        params.Eps,
 			Clusters:   r.NumClusters,
 			MaxMembers: r.MaxClusterSize(),
 			Savings:    cluster.SpaceSavings(lines, r),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig5Result{Rows: rows}, nil
 }
 
 // Report renders Figure 5.

@@ -265,6 +265,63 @@ func TestAblations(t *testing.T) {
 	}
 }
 
+// TestParallelReportsMatchSerial is the determinism guard for the worker
+// pools: every parallelized experiment must render byte-identical reports
+// for serial (Workers=1) and parallel (Workers=4) execution.
+func TestParallelReportsMatchSerial(t *testing.T) {
+	serial := tinyOpt()
+	serial.Workers = 1
+	parallel := tinyOpt()
+	parallel.Workers = 4
+	type experiment struct {
+		name string
+		run  func(Options) (string, error)
+	}
+	experiments := []experiment{
+		{"fig1", func(o Options) (string, error) {
+			r, err := Fig1(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		}},
+		{"fig5", func(o Options) (string, error) {
+			r, err := Fig5(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		}},
+		{"fig20", func(o Options) (string, error) {
+			r, err := Fig20(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		}},
+		{"ablate-victims", func(o Options) (string, error) {
+			r, err := AblateVictimCandidates(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		}},
+	}
+	for _, e := range experiments {
+		want, err := e.run(serial)
+		if err != nil {
+			t.Fatalf("%s serial: %v", e.name, err)
+		}
+		got, err := e.run(parallel)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", e.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: parallel report differs from serial\nserial:\n%s\nparallel:\n%s", e.name, want, got)
+		}
+	}
+}
+
 func TestStaticTables(t *testing.T) {
 	for name, rep := range map[string]string{
 		"table1": Table1Report(),

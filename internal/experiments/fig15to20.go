@@ -242,19 +242,34 @@ func Fig20(opt Options) (*Fig20Result, error) {
 		}
 		ro := opt.run()
 		ro.Thesaurus = &cfg
-		row := Fig20Row{Entries: entries, AvgHitRates: map[string]float64{}}
-		var hits, crs []float64
-		for _, p := range opt.profiles() {
-			out, err := harness.Run(p, "Thesaurus", ro)
+		profiles := opt.profiles()
+		type cell struct {
+			hitRate   float64
+			cr        float64
+			storageKB float64
+		}
+		cells, err := harness.ParMap(len(profiles), opt.Workers, func(i int) (cell, error) {
+			out, err := harness.Run(profiles[i], "Thesaurus", ro)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			th := out.Cache.(*thesaurus.Cache)
-			hr := th.BaseCache().HitRate()
-			row.AvgHitRates[p] = hr
-			hits = append(hits, hr)
-			crs = append(crs, out.Res.CompressionRatio)
-			row.StorageKB = float64(th.BaseCache().StorageBytes()) / 1024
+			return cell{
+				hitRate:   th.BaseCache().HitRate(),
+				cr:        out.Res.CompressionRatio,
+				storageKB: float64(th.BaseCache().StorageBytes()) / 1024,
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig20Row{Entries: entries, AvgHitRates: map[string]float64{}}
+		var hits, crs []float64
+		for i, p := range profiles {
+			row.AvgHitRates[p] = cells[i].hitRate
+			hits = append(hits, cells[i].hitRate)
+			crs = append(crs, cells[i].cr)
+			row.StorageKB = cells[i].storageKB
 		}
 		row.HitRate = stats.Mean(hits)
 		row.GeomeanCR = geomean(crs)

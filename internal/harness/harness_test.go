@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/thesaurus"
@@ -114,6 +115,54 @@ func TestRunMatrix(t *testing.T) {
 	}
 	if _, err := RunMatrix([]RunKey{{Profile: "nope", Design: "Baseline"}}, quickOpt()); err == nil {
 		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestRunDefaultEqualConfigSharesMemo(t *testing.T) {
+	// A sweep point configured identically to the paper default must hit
+	// the default design's memo entry instead of re-running.
+	opt := quickOpt()
+	base, err := Run("exchange2", "Thesaurus", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := thesaurus.DefaultConfig()
+	opt2 := opt
+	opt2.Thesaurus = &cfg
+	shared, err := Run("exchange2", "Thesaurus", opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != shared {
+		t.Fatal("default-equal sweep config did not share the memoized run")
+	}
+}
+
+func TestParMap(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		got, err := ParMap(10, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	// n = 0 is a no-op.
+	if out, err := ParMap(0, 4, func(int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty ParMap: %v, %v", out, err)
+	}
+	// Errors propagate and abort.
+	wantErr := fmt.Errorf("boom")
+	if _, err := ParMap(100, 4, func(i int) (int, error) {
+		if i == 7 {
+			return 0, wantErr
+		}
+		return i, nil
+	}); err == nil {
+		t.Fatal("ParMap swallowed the error")
 	}
 }
 

@@ -1,0 +1,48 @@
+package line
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// benchLines builds a deterministic pair of lines differing in a handful
+// of bytes — the regime the replay hot path sees (average diffs are well
+// under 16 bytes, Fig. 18).
+func benchLines() (Line, Line) {
+	rng := xrand.New(0xbeef)
+	var a Line
+	for i := 0; i < WordsPerLine; i++ {
+		a.SetWord(i, rng.Uint64())
+	}
+	b := a
+	for _, pos := range []int{3, 17, 40, 41, 63} {
+		b[pos] ^= byte(1 + rng.Intn(255))
+	}
+	return a, b
+}
+
+func BenchmarkDiffBytes(b *testing.B) {
+	x, y := benchLines()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DiffBytes(&x, &y)
+	}
+}
+
+func BenchmarkPopCountNonZero(b *testing.B) {
+	x, _ := benchLines()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.PopCountNonZero()
+	}
+}
+
+func BenchmarkPopCountNonZeroSparse(b *testing.B) {
+	var x Line
+	x[5], x[31], x[60] = 1, 2, 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.PopCountNonZero()
+	}
+}

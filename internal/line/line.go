@@ -125,13 +125,18 @@ func HammingBits(l, m *Line) int {
 }
 
 // PopCountNonZero returns the number of non-zero bytes in l, i.e. the
-// diff-byte count against the all-zero line.
+// diff-byte count against the all-zero line. Like DiffMask it works
+// word-at-a-time: collapse each non-zero byte to its LSB with SWAR
+// shifts, then popcount.
 func (l *Line) PopCountNonZero() int {
 	n := 0
-	for _, b := range l {
-		if b != 0 {
-			n++
-		}
+	for i := 0; i < Size; i += 8 {
+		x := binary.LittleEndian.Uint64(l[i:])
+		x |= x >> 4
+		x |= x >> 2
+		x |= x >> 1
+		x &= 0x0101010101010101
+		n += bits.OnesCount64(x)
 	}
 	return n
 }

@@ -104,6 +104,43 @@ func TestPopCountNonZero(t *testing.T) {
 	}
 }
 
+// naivePopCountNonZero is the byte-loop reference the SWAR implementation
+// must match.
+func naivePopCountNonZero(l *Line) int {
+	n := 0
+	for _, b := range l {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestPopCountNonZeroMatchesReference(t *testing.T) {
+	// Every single-byte position, exercising each lane of every word.
+	for i := 0; i < Size; i++ {
+		var l Line
+		l[i] = 0x80 // high bit only: the SWAR fold must still see it
+		if got, want := l.PopCountNonZero(), naivePopCountNonZero(&l); got != want {
+			t.Fatalf("byte %d: PopCountNonZero = %d, want %d", i, got, want)
+		}
+	}
+	// Fully-populated line.
+	var full Line
+	for i := range full {
+		full[i] = byte(i + 1)
+	}
+	if got := full.PopCountNonZero(); got != Size {
+		t.Fatalf("full line: PopCountNonZero = %d, want %d", got, Size)
+	}
+	// Fuzz-style random lines.
+	if err := quick.Check(func(l Line) bool {
+		return l.PopCountNonZero() == naivePopCountNonZero(&l)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestHammingBits(t *testing.T) {
 	var a, b Line
 	b[0] = 0xFF
