@@ -1,15 +1,30 @@
-# Repository verification targets. `make ci` is the gate: vet, build,
-# the full test suite, and a race-detector pass over the packages that
-# own the campaign worker pools.
+# Repository verification targets. `make ci` is the gate: formatting,
+# vet, the determinism lint suite, build, the full test suite, and a
+# race-detector pass over the packages that own the campaign worker
+# pools.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet fmtcheck lint build test race fuzz bench
 
-ci: vet build test race
+ci: fmtcheck vet lint build test race
 
 vet:
 	$(GO) vet ./...
+
+# gofmt cleanliness: any file listed is a failure.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# thesauruslint mechanically enforces the determinism contract
+# (docs/determinism.md): no wall-clock/env/math-rand inputs in
+# simulation packages, no map iteration feeding ordered output, no
+# shared-state mutation from worker goroutines, config-derived PRNG
+# seeds, no order-dependent float reductions. Audited exceptions live
+# in lint.allow.
+lint:
+	$(GO) run ./cmd/thesauruslint ./...
 
 build:
 	$(GO) build ./...
@@ -23,6 +38,13 @@ test:
 # pass, not a full campaign.
 race:
 	$(GO) test -race -count=1 ./internal/harness ./internal/experiments
+
+# Short fuzzing smoke over the encoding and fingerprint invariants; the
+# corpus seeds come from the unit-test vectors, so even a few seconds
+# exercises the interesting shapes.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDiffEncodeRoundtrip -fuzztime=5s ./internal/diffenc
+	$(GO) test -run='^$$' -fuzz=FuzzLSHFingerprintStable -fuzztime=5s ./internal/lsh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/line ./internal/diffenc ./internal/lsh

@@ -15,6 +15,7 @@
 //	-profiles csv comma-separated profile subset (default: all 22)
 //	-quick        reduced trace length for a fast smoke run
 //	-workers N    bound experiment concurrency (0 = GOMAXPROCS, 1 = serial)
+//	-json         emit one machine-readable JSON document instead of text reports
 //	-cpuprofile f write a pprof CPU profile of the whole campaign to f
 //	-memprofile f write a pprof heap profile at exit to f
 package main
@@ -38,6 +39,7 @@ func main() {
 	profilesFlag := flag.String("profiles", "", "comma-separated profile subset")
 	quick := flag.Bool("quick", false, "reduced trace length (smoke run)")
 	workers := flag.Int("workers", 0, "experiment concurrency (0 = GOMAXPROCS, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text reports")
 	cpuprofile := flag.String("cpuprofile", "", "write pprof CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write pprof heap profile to file")
 	flag.Parse()
@@ -79,6 +81,18 @@ func main() {
 			fail(err)
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *jsonOut {
+		// One deterministic document for the whole campaign; the timing
+		// footer is deliberately absent (wall-clock must not reach the
+		// output the byte-identity contract covers).
+		doc, err := experiments.CampaignJSON(args, opt)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(doc)
+		return
 	}
 
 	type timing struct {

@@ -1,0 +1,174 @@
+// Command thesauruslint runs the repository's determinism and
+// concurrency lint suite (internal/lint) over the module. It exists
+// because the evaluation's trustworthiness rests on one invariant —
+// serial and parallel campaigns render byte-identical reports — and
+// that invariant is too easy to break silently with a stray time.Now,
+// an unsorted map iteration, or a goroutine appending to shared state.
+//
+// Usage:
+//
+//	thesauruslint [flags] [./... | dir ...]
+//
+// Flags:
+//
+//	-json         emit machine-readable JSON diagnostics on stdout
+//	-allow file   allowlist of audited exceptions (default: <module>/lint.allow if present)
+//	-analyzers csv run only the named analyzers
+//	-list         print the suite and exit
+//
+// Exit status: 0 when no unsuppressed findings (stale allowlist entries
+// also fail), 1 on findings, 2 on usage or load errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit JSON diagnostics")
+	allowFlag := flag.String("allow", "", "allowlist file (default <module>/lint.allow if present)")
+	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	moduleDir, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	runner, err := lint.NewRunner(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	if *analyzersFlag != "" {
+		runner.Analyzers = nil
+		for _, name := range strings.Split(*analyzersFlag, ",") {
+			a, err := lint.AnalyzerByName(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			runner.Analyzers = append(runner.Analyzers, a)
+		}
+	}
+
+	allowPath := *allowFlag
+	if allowPath == "" {
+		candidate := filepath.Join(moduleDir, "lint.allow")
+		if _, err := os.Stat(candidate); err == nil {
+			allowPath = candidate
+		}
+	}
+	if allowPath != "" {
+		al, err := lint.ParseAllowlist(allowPath)
+		if err != nil {
+			fatal(err)
+		}
+		runner.Allow = al
+	}
+
+	dirs, err := targetDirs(moduleDir, cwd, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := runner.CheckDirs(dirs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var stale []*lint.AllowEntry
+	if runner.Allow != nil {
+		stale = runner.Allow.Stale()
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			if d.Suppressed {
+				continue
+			}
+			fmt.Println(d)
+		}
+	}
+
+	failures := 0
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		} else {
+			failures++
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "%s:%d: stale allowlist entry (%s %s) suppresses nothing; delete it\n",
+			runner.Allow.Source, e.Line, e.Analyzer, e.File)
+	}
+	if failures > 0 || len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "thesauruslint: %d finding(s), %d allowlisted, %d stale allowlist entrie(s)\n",
+			failures, suppressed, len(stale))
+		os.Exit(1)
+	}
+	if !*jsonOut && suppressed > 0 {
+		fmt.Fprintf(os.Stderr, "thesauruslint: clean (%d audited exception(s) allowlisted)\n", suppressed)
+	}
+}
+
+// targetDirs resolves CLI arguments to package directories: no args or
+// "./..." means every package in the module; other arguments name
+// directories (relative to the working directory).
+func targetDirs(moduleDir, cwd string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return lint.ModuleDirs(moduleDir)
+	}
+	var dirs []string
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			all, err := lint.ModuleDirs(moduleDir)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, all...)
+			continue
+		}
+		if strings.HasSuffix(a, "/...") {
+			sub, err := lint.ModuleDirs(filepath.Join(cwd, strings.TrimSuffix(a, "/...")))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, sub...)
+			continue
+		}
+		dirs = append(dirs, filepath.Join(cwd, a))
+	}
+	return dirs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thesauruslint:", err)
+	os.Exit(2)
+}

@@ -136,13 +136,16 @@ func TestNegativeDeltas(t *testing.T) {
 
 func TestSizeTable(t *testing.T) {
 	// The canonical BΔI sizes.
-	want := map[Kind]int{
-		KindZeros: 1, KindRep: 8, KindB8D1: 16, KindB8D2: 24,
-		KindB8D4: 40, KindB4D1: 20, KindB4D2: 36, KindB2D1: 34,
+	want := []struct {
+		k  Kind
+		sz int
+	}{
+		{KindZeros, 1}, {KindRep, 8}, {KindB8D1, 16}, {KindB8D2, 24},
+		{KindB8D4, 40}, {KindB4D1, 20}, {KindB4D2, 36}, {KindB2D1, 34},
 	}
-	for k, sz := range want {
-		if geometries[k].sizeBytes != sz {
-			t.Errorf("%v size %d, want %d", k, geometries[k].sizeBytes, sz)
+	for _, w := range want {
+		if geometries[w.k].sizeBytes != w.sz {
+			t.Errorf("%v size %d, want %d", w.k, geometries[w.k].sizeBytes, w.sz)
 		}
 	}
 }

@@ -174,7 +174,17 @@ func buildNeighbours(lines []line.Line, eps int) [][]int {
 			out[j] = append(out[j], i)
 		}
 	}
-	for _, bucket := range byWord {
+	// Iterate buckets in sorted key order: the windowed comparison of
+	// oversized buckets visits only a subset of pairs, so neighbour lists
+	// (and downstream cluster labels) would otherwise depend on Go's
+	// randomized map order.
+	words := make([]uint64, 0, len(byWord))
+	for w := range byWord {
+		words = append(words, w)
+	}
+	sort.Slice(words, func(a, b int) bool { return words[a] < words[b] })
+	for _, w := range words {
+		bucket := byWord[w]
 		if len(bucket) <= bucketCap {
 			for a := 0; a < len(bucket); a++ {
 				for b := a + 1; b < len(bucket); b++ {

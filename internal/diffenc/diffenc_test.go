@@ -171,13 +171,16 @@ func TestDecodeErrors(t *testing.T) {
 }
 
 func TestFormatString(t *testing.T) {
-	cases := map[Format]string{
-		FormatRaw: "RAW", FormatBaseDiff: "B+D", FormatZeroDiff: "0+D",
-		FormatBaseOnly: "BASE", FormatAllZero: "Z",
+	cases := []struct {
+		f    Format
+		want string
+	}{
+		{FormatRaw, "RAW"}, {FormatBaseDiff, "B+D"}, {FormatZeroDiff, "0+D"},
+		{FormatBaseOnly, "BASE"}, {FormatAllZero, "Z"},
 	}
-	for f, want := range cases {
-		if f.String() != want {
-			t.Errorf("%d.String() = %q, want %q", f, f.String(), want)
+	for _, c := range cases {
+		if c.f.String() != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.f, c.f.String(), c.want)
 		}
 	}
 	if !FormatBaseDiff.Compressed() || FormatRaw.Compressed() {

@@ -37,6 +37,42 @@ func FuzzEncodeDecode(f *testing.F) {
 	})
 }
 
+// FuzzDiffEncodeRoundtrip targets the base+diff path specifically: the
+// line is the base with a handful of fuzzer-chosen byte edits — the
+// near-duplicate shape the paper's clustering makes common. The chosen
+// encoding must round-trip exactly and stay within the segment budget.
+func FuzzDiffEncodeRoundtrip(f *testing.F) {
+	base := make([]byte, line.Size)
+	for i := range base {
+		base[i] = byte(3 * i)
+	}
+	f.Add(base, uint8(0), uint8(1), uint8(2))                      // 3-byte near-duplicate
+	f.Add(base, uint8(5), uint8(5), uint8(5))                      // repeated edit offset
+	f.Add(make([]byte, line.Size), uint8(0), uint8(31), uint8(63)) // zero base
+	f.Fuzz(func(t *testing.T, baseBytes []byte, p0, p1, p2 uint8) {
+		if len(baseBytes) < line.Size {
+			return
+		}
+		b := line.FromBytes(baseBytes[:line.Size])
+		l := b
+		for _, p := range []uint8{p0, p1, p2} {
+			l[int(p)%line.Size] ^= byte(p) | 1
+		}
+		enc := Encode(&l, &b)
+		if s := enc.Segments(); s < 0 || s > SegmentsPerLine {
+			t.Fatalf("segments out of range: %d", s)
+		}
+		got, err := Decode(enc, &b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != l {
+			t.Fatalf("round trip mismatch (format %v, diff %d bytes)",
+				enc.Format, line.DiffBytes(&l, &b))
+		}
+	})
+}
+
 // FuzzDecodeArbitrary feeds Decode arbitrary (possibly inconsistent)
 // encodings: it must never panic — malformed inputs yield errors.
 func FuzzDecodeArbitrary(f *testing.F) {

@@ -11,20 +11,19 @@ func TestTable2IsoSilicon(t *testing.T) {
 		t.Fatalf("%d rows", len(rows))
 	}
 	var conv int
-	totals := map[string]int{}
 	for _, r := range rows {
-		totals[r.Design] = r.TotalBytes()
 		if r.Design == "Conventional" {
 			conv = r.TotalBytes()
 		}
 	}
 	// All designs fit within ~1% of the conventional silicon budget
 	// (Table 2's totals range 1.06-1.07MB).
-	for d, tot := range totals {
+	for _, r := range rows {
+		tot := r.TotalBytes()
 		dev := math.Abs(float64(tot-conv)) / float64(conv)
 		if dev > 0.015 {
 			t.Errorf("%s total %dKB deviates %.1f%% from conventional %dKB",
-				d, tot>>10, 100*dev, conv>>10)
+				r.Design, tot>>10, 100*dev, conv>>10)
 		}
 	}
 }

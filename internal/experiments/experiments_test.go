@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -242,21 +243,25 @@ func TestFig20SweepMonotone(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	opt := Options{Accesses: 50_000, Profiles: []string{"mcf"}}
-	for name, f := range map[string]func(Options) (*AblationResult, error){
-		"victims":  AblateVictimCandidates,
-		"bits":     AblateLSHBits,
-		"sparsity": AblateLSHSparsity,
-	} {
-		r, err := f(opt)
+	ablations := []struct {
+		name string
+		f    func(Options) (*AblationResult, error)
+	}{
+		{"victims", AblateVictimCandidates},
+		{"bits", AblateLSHBits},
+		{"sparsity", AblateLSHSparsity},
+	}
+	for _, a := range ablations {
+		r, err := a.f(opt)
 		if err != nil {
-			t.Fatalf("%s: %v", name, err)
+			t.Fatalf("%s: %v", a.name, err)
 		}
 		if len(r.Points) < 3 {
-			t.Fatalf("%s: %d points", name, len(r.Points))
+			t.Fatalf("%s: %d points", a.name, len(r.Points))
 		}
 		for _, p := range r.Points {
 			if p.GeomeanCR <= 0 || p.GeomeanNM <= 0 {
-				t.Fatalf("%s: degenerate point %+v", name, p)
+				t.Fatalf("%s: degenerate point %+v", a.name, p)
 			}
 		}
 		if !strings.Contains(r.Report(), "Ablation") {
@@ -322,15 +327,43 @@ func TestParallelReportsMatchSerial(t *testing.T) {
 	}
 }
 
+// TestParallelJSONMatchesSerial extends the determinism guard to the
+// machine-readable campaign output: the JSON document must also be
+// byte-identical between serial and parallel execution — struct layout
+// and encoding/json's sorted map keys leave worker scheduling as the
+// only possible source of divergence, which is exactly what this pins.
+func TestParallelJSONMatchesSerial(t *testing.T) {
+	serial := tinyOpt()
+	serial.Workers = 1
+	parallel := tinyOpt()
+	parallel.Workers = 4
+	names := []string{"fig1", "fig5", "fig20", "ablate-victims", "table2"}
+	want, err := CampaignJSON(names, serial)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	got, err := CampaignJSON(names, parallel)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("parallel JSON campaign differs from serial\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+}
+
 func TestStaticTables(t *testing.T) {
-	for name, rep := range map[string]string{
-		"table1": Table1Report(),
-		"table2": Table2Report(),
-		"table3": Table3Report(),
-		"table4": Table4Report(),
-	} {
-		if len(rep) < 100 {
-			t.Fatalf("%s report too short", name)
+	tables := []struct {
+		name string
+		rep  string
+	}{
+		{"table1", Table1Report()},
+		{"table2", Table2Report()},
+		{"table3", Table3Report()},
+		{"table4", Table4Report()},
+	}
+	for _, tb := range tables {
+		if len(tb.rep) < 100 {
+			t.Fatalf("%s report too short", tb.name)
 		}
 	}
 	if !strings.Contains(Table2Report(), "Thesaurus") {

@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatOrder flags floating-point reductions whose accumulation order
+// is nondeterministic: `sum += x` over a map iteration, or onto
+// captured state from goroutine closures (where completion order
+// decides the order of adds). Float addition is not associative, so
+// even a mutex-guarded accumulator produces run-to-run last-bit drift —
+// which the byte-identical reports then render. The fix is to
+// accumulate into an index-ordered slice (or over sorted keys) and
+// reduce serially.
+var FloatOrder = &Analyzer{
+	Name: "float-order",
+	Doc:  "flag float accumulation over map iteration or goroutine completion order",
+	Run:  runFloatOrder,
+}
+
+var reductionOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true,
+	token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true,
+}
+
+func runFloatOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(pass.Info.TypeOf(rng.X)) {
+				return true
+			}
+			checkFloatReductions(pass, rng)
+			return true
+		})
+	}
+	for _, fl := range concurrentFuncLits(pass) {
+		checkConcurrentFloat(pass, fl)
+	}
+}
+
+// checkFloatReductions flags float accumulators fed in map order.
+func checkFloatReductions(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != 1 {
+			return true
+		}
+		lhs := s.Lhs[0]
+		if !isFloat(pass.Info.TypeOf(lhs)) {
+			return true
+		}
+		obj := outerObject(pass, rng, lhs)
+		if obj == nil {
+			return true
+		}
+		reduces := reductionOps[s.Tok]
+		if !reduces && s.Tok == token.ASSIGN {
+			// The x = x + e spelling of the same reduction.
+			if be, ok := ast.Unparen(s.Rhs[0]).(*ast.BinaryExpr); ok &&
+				(be.Op == token.ADD || be.Op == token.SUB || be.Op == token.MUL || be.Op == token.QUO) {
+				reduces = mentionsObject(pass.Info, be, obj)
+			}
+		}
+		if reduces {
+			pass.Reportf(s.Pos(),
+				"float accumulation into %s over map iteration: float addition is not associative, so the "+
+					"randomized key order changes the result; reduce over a sorted key slice", obj.Name())
+		}
+		return true
+	})
+}
+
+// checkConcurrentFloat flags float accumulators fed in goroutine
+// completion order. Unlike parmap-discipline, a mutex is no excuse:
+// locking removes the race but not the order dependence.
+func checkConcurrentFloat(pass *Pass, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || len(s.Lhs) != 1 || !reductionOps[s.Tok] {
+			return true
+		}
+		lhs := s.Lhs[0]
+		if !isFloat(pass.Info.TypeOf(lhs)) {
+			return true
+		}
+		if indexedWrite(pass, fl, lhs) {
+			return true // disjoint per-worker slots reduce deterministically later
+		}
+		obj := capturedTarget(pass, fl, lhs)
+		if obj == nil {
+			return true
+		}
+		pass.Reportf(s.Pos(),
+			"float accumulation into captured %s inside a goroutine closure: worker completion order "+
+				"changes the rounding even under a mutex; accumulate per-index results and reduce serially",
+			obj.Name())
+		return true
+	})
+}

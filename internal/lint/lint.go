@@ -1,0 +1,247 @@
+// Package lint is thesauruslint: a repository-specific static-analysis
+// suite that mechanically enforces the determinism contract documented
+// in docs/determinism.md. The whole evaluation pipeline promises
+// byte-identical reports for any worker count; these analyzers catch
+// the silent-nondeterminism bug classes (wall-clock reads, unordered
+// map iteration feeding ordered output, shared-state mutation from
+// worker goroutines, ad-hoc random seeds, float reduction order) before
+// they can skew a figure.
+//
+// The suite is built only on the standard library (go/parser, go/ast,
+// go/types with the source importer); there is no dependency on
+// golang.org/x/tools.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by position and analyzer.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	// File is the path relative to the module root (or absolute when
+	// outside it).
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+	// Suppressed is set when an allowlist entry covers the finding.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// String renders the conventional file:line:col: analyzer: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass hands one analysis unit to an analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the import path of the package under analysis; SimPackage
+	// tells analyzers whether the determinism contract applies to it.
+	Path       string
+	SimPackage bool
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+
+	analyzer string
+	report   func(Diagnostic)
+}
+
+// InTestFile reports whether pos lies in a _test.go file.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	pp := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.analyzer,
+		File:     pp.Filename,
+		Line:     pp.Line,
+		Col:      pp.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoDetermImports,
+		MapOrder,
+		ParMapDiscipline,
+		XRandSeed,
+		FloatOrder,
+	}
+}
+
+// AnalyzerByName resolves names (comma-separated lists accepted by the
+// CLI) to analyzers.
+func AnalyzerByName(name string) (*Analyzer, error) {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+}
+
+// simPackage reports whether the determinism contract applies to the
+// import path: the root package and everything under internal/ except
+// the lint suite itself. cmd/ and examples/ are interactive front-ends
+// where wall-clock reads and environment access are legitimate.
+func simPackage(modulePath, path string) bool {
+	if path == modulePath {
+		return true
+	}
+	internal := modulePath + "/internal/"
+	if !strings.HasPrefix(path, internal) {
+		return false
+	}
+	rest := strings.TrimPrefix(path, internal)
+	return rest != "lint" && !strings.HasPrefix(rest, "lint/")
+}
+
+// Runner drives the suite over a module.
+type Runner struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	Allow     *Allowlist
+}
+
+// NewRunner builds a Runner with the full suite over the module rooted
+// at moduleDir.
+func NewRunner(moduleDir string) (*Runner, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Loader: l, Analyzers: Analyzers()}, nil
+}
+
+// CheckDirs lints the given package directories and returns all
+// diagnostics sorted by file, line, column, analyzer. Allowlisted
+// findings are returned with Suppressed set rather than dropped, so the
+// JSON mode can expose audited exceptions.
+func (r *Runner) CheckDirs(dirs []string) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		path, err := r.importPathOf(dir)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := r.checkDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	if r.Allow != nil {
+		for i := range diags {
+			if r.Allow.Covers(diags[i]) {
+				diags[i].Suppressed = true
+			}
+		}
+	}
+	return diags, nil
+}
+
+// CheckDirAs lints a single directory under a pretend import path; the
+// unit-test fixtures use it to exercise sim-package and cmd-package
+// treatment from testdata trees.
+func (r *Runner) CheckDirAs(dir, asPath string) ([]Diagnostic, error) {
+	diags, err := r.checkDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func (r *Runner) checkDir(dir, asPath string) ([]Diagnostic, error) {
+	units, err := r.Loader.LoadDir(dir, asPath)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, u := range units {
+		for _, a := range r.Analyzers {
+			pass := &Pass{
+				Fset:       r.Loader.Fset,
+				Path:       u.Path,
+				SimPackage: simPackage(r.Loader.ModulePath, u.Path),
+				Files:      u.Files,
+				Pkg:        u.Pkg,
+				Info:       u.Info,
+				analyzer:   a.Name,
+			}
+			pass.report = func(d Diagnostic) {
+				if rel, err := filepath.Rel(r.Loader.ModuleDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+					d.File = filepath.ToSlash(rel)
+				}
+				diags = append(diags, d)
+			}
+			a.Run(pass)
+		}
+	}
+	return diags, nil
+}
+
+// importPathOf maps a module subdirectory to its import path.
+func (r *Runner) importPathOf(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(r.Loader.ModuleDir, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return r.Loader.ModulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, r.Loader.ModuleDir)
+	}
+	return r.Loader.ModulePath + "/" + filepath.ToSlash(rel), nil
+}

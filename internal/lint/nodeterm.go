@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// NoDetermImports forbids wall-clock, environment, and math/rand
+// nondeterminism sources inside the simulation packages. Reports must be
+// a pure function of configuration and seeds: a time.Now inside a
+// simulated-latency path or a math/rand stream (whose bit sequence is
+// not even stable across Go releases) silently breaks byte-identical
+// replay. cmd/, examples/, and _test.go files are exempt — front-ends
+// may time campaigns and read flags from the environment.
+var NoDetermImports = &Analyzer{
+	Name: "nodeterm-imports",
+	Doc: "forbid math/rand, time.Now/Since/Until, os.Getenv/Environ/LookupEnv, " +
+		"and fmt formatting of map values in simulation packages",
+	Run: runNoDetermImports,
+}
+
+// forbiddenFuncs maps package path → function names whose call sites are
+// nondeterministic inputs.
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"os": {
+		"Getenv":    "environment read",
+		"Environ":   "environment read",
+		"LookupEnv": "environment read",
+	},
+}
+
+// fmtFormatters are the fmt functions checked for map-typed arguments;
+// the value is the index of the first variadic formatting argument.
+var fmtFormatters = map[string]int{
+	"Sprintf": 1, "Sprint": 0, "Sprintln": 0,
+	"Printf": 1, "Print": 0, "Println": 0,
+	"Fprintf": 2, "Fprint": 1, "Fprintln": 1,
+	"Errorf": 1,
+}
+
+func runNoDetermImports(pass *Pass) {
+	if !pass.SimPackage {
+		return
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s in simulation package %s: use repro/internal/xrand with an explicit seed "+
+						"(math/rand streams are not stable across Go releases)", path, pass.Path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if names, ok := forbiddenFuncs[fn.Pkg().Path()]; ok {
+				if kind, ok := names[fn.Name()]; ok {
+					pass.Reportf(call.Pos(),
+						"%s.%s in simulation package %s: %s is a nondeterministic input; "+
+							"derive the value from config or move the call to cmd/",
+						fn.Pkg().Name(), fn.Name(), pass.Path, kind)
+				}
+			}
+			if fn.Pkg().Path() == "fmt" {
+				if first, ok := fmtFormatters[fn.Name()]; ok {
+					checkFmtMapArgs(pass, call, first)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFmtMapArgs flags map-typed operands handed to a fmt formatter.
+// fmt sorts map keys of ordered types, but keys compared through
+// interfaces or containing NaNs print in nondeterministic order, and the
+// repo's contract is that report bytes never depend on fmt's fallback
+// behaviour — render maps through explicitly sorted keys instead.
+func checkFmtMapArgs(pass *Pass, call *ast.CallExpr, first int) {
+	for i, arg := range call.Args {
+		if i < first {
+			continue
+		}
+		t := pass.Info.TypeOf(arg)
+		if t == nil || !isMap(t) {
+			continue
+		}
+		// A map argument to a %d-style width is impossible; any map
+		// reaching a formatter is being rendered.
+		short := t.String()
+		if id := rootIdent(arg); id != nil {
+			short = id.Name + " (" + short + ")"
+		}
+		pass.Reportf(arg.Pos(),
+			"map value %s formatted with fmt.%s: rendering depends on fmt's key ordering; "+
+				"iterate a sorted key slice instead", shorten(short), funcName(pass, call))
+	}
+}
+
+func funcName(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass.Info, call); fn != nil {
+		return fn.Name()
+	}
+	return "formatter"
+}
+
+// shorten trims verbose qualified type names for readable diagnostics.
+func shorten(s string) string {
+	if len(s) > 64 {
+		return s[:61] + "..."
+	}
+	return strings.ReplaceAll(s, "command-line-arguments.", "")
+}

@@ -1,0 +1,55 @@
+// Package fixclean is a thesauruslint test fixture containing only
+// sanctioned patterns: the whole suite must pass it with zero
+// diagnostics.
+package fixclean
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+type Config struct{ Seed uint64 }
+
+// Collect keys, sort, then render: the canonical deterministic shape.
+func render(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d\n", k, m[k])
+	}
+	return sb.String()
+}
+
+func parMap(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Workers write disjoint slots; the reduce is serial and index-ordered.
+func sum(cfg Config, n int) float64 {
+	parts := make([]float64, n)
+	parMap(n, func(i int) {
+		r := xrand.New(cfg.Seed + uint64(i))
+		parts[i] = r.Float64()
+	})
+	var total float64
+	for _, p := range parts {
+		total += p
+	}
+	return total
+}

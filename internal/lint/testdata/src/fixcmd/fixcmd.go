@@ -1,0 +1,20 @@
+// Package main is a thesauruslint test fixture linted under a pretend
+// repro/cmd/ import path: front-ends may read the clock and the
+// environment and may use literal seeds, so the suite must report
+// nothing here.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/xrand"
+)
+
+func main() {
+	start := time.Now()
+	_ = os.Getenv("HOME")
+	r := xrand.New(1)
+	fmt.Println(r.Uint64(), time.Since(start))
+}

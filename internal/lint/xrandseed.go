@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// XRandSeed polices how the deterministic PRNG is seeded. In simulation
+// code every xrand constructor must take a seed that arrives through
+// configuration or a profile (a Config field, a function parameter, a
+// derived expression) — never an inline magic literal. A literal at the
+// call site cannot be swept, is invisible to the experiment
+// configuration surface, and invites copy-paste reuse that silently
+// correlates streams which the evaluation assumes are independent.
+// Named default seeds belong in a Config literal (see
+// lsh.DefaultConfig), which this analyzer deliberately does not flag.
+// Test files may use literal seeds, but reusing the same literal for
+// two constructors in one file correlates fixtures that look
+// independent, so that is flagged too.
+var XRandSeed = &Analyzer{
+	Name: "xrand-seed",
+	Doc:  "require xrand constructor seeds to derive from config/profile; no inline or reused magic literals",
+	Run:  runXRandSeed,
+}
+
+func runXRandSeed(pass *Pass) {
+	if !pass.SimPackage {
+		return
+	}
+	firstByValue := map[string]ast.Node{} // file\x00value → first call site
+	for _, f := range pass.Files {
+		inTest := pass.InTestFile(f.Pos())
+		fileName := pass.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() == nil ||
+				!strings.HasSuffix(callee.Pkg().Path(), "internal/xrand") {
+				return true
+			}
+			if callee.Name() != "New" && callee.Name() != "NewSplitMix64" {
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil {
+				return true // derived from config/profile/parameter: fine
+			}
+			val := tv.Value.ExactString()
+			if !inTest {
+				pass.Reportf(call.Args[0].Pos(),
+					"xrand.%s seeded with constant %s in simulation code: derive the seed from a Config "+
+						"field or profile parameter so sweeps can vary it and streams stay independent",
+					callee.Name(), val)
+				return true
+			}
+			key := fileName + "\x00" + val
+			if first, dup := firstByValue[key]; dup {
+				firstPos := pass.Fset.Position(first.Pos())
+				pass.Reportf(call.Args[0].Pos(),
+					"xrand.%s reuses literal seed %s already used at line %d of this file: identical seeds "+
+						"produce identical streams, silently correlating fixtures; pick a distinct seed",
+					callee.Name(), val, firstPos.Line)
+				return true
+			}
+			firstByValue[key] = call
+			return true
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package lsh
+
+import (
+	"testing"
+
+	"repro/internal/line"
+)
+
+// FuzzLSHFingerprintStable asserts the property the clustering layer
+// leans on: a fingerprint is a pure function of (config, line). Two
+// independently constructed hashers with the same config must agree on
+// every input, repeated calls must agree with themselves, and the
+// result must stay within the configured bit width.
+func FuzzLSHFingerprintStable(f *testing.F) {
+	proto := make([]byte, line.Size)
+	for i := range proto {
+		proto[i] = byte(i * 7)
+	}
+	// Seed with the default-config vector and the validation-boundary
+	// configs exercised by TestConfigValidation/TestFingerprintWithinBits.
+	f.Add(DefaultConfig().Seed, uint8(DefaultConfig().Bits), uint8(DefaultConfig().NonZeros), proto)
+	f.Add(uint64(1), uint8(1), uint8(1), make([]byte, line.Size))
+	f.Add(uint64(2), uint8(24), uint8(64), proto)
+	f.Fuzz(func(t *testing.T, seed uint64, bits, nz uint8, data []byte) {
+		if len(data) < line.Size {
+			return
+		}
+		cfg := Config{Bits: 1 + int(bits)%24, NonZeros: 1 + int(nz)%64, Seed: seed}
+		h1, err := New(cfg)
+		if err != nil {
+			t.Fatalf("in-range config rejected: %+v: %v", cfg, err)
+		}
+		h2 := MustNew(cfg)
+		l := line.FromBytes(data[:line.Size])
+		fp := h1.Fingerprint(&l)
+		if got := h2.Fingerprint(&l); got != fp {
+			t.Fatalf("fingerprint differs across instances: %#x vs %#x (cfg %+v)", fp, got, cfg)
+		}
+		if got := h1.Fingerprint(&l); got != fp {
+			t.Fatalf("fingerprint differs across calls: %#x vs %#x (cfg %+v)", fp, got, cfg)
+		}
+		if limit := Fingerprint(1) << uint(cfg.Bits); fp >= limit {
+			t.Fatalf("fingerprint %#x exceeds %d bits", fp, cfg.Bits)
+		}
+	})
+}

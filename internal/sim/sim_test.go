@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/bdicache"
@@ -142,9 +143,14 @@ func TestReplayAllDesignsVerified(t *testing.T) {
 	}
 	opt := DefaultReplayOptions()
 	opt.Verify = true
-	for name, build := range builds {
+	names := make([]string, 0, len(builds))
+	for name := range builds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		st := memory.NewStore()
-		c, err := build(st)
+		c, err := builds[name](st)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package thesaurus
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/line"
@@ -35,24 +36,32 @@ func TestReadWriteRoundTrip(t *testing.T) {
 		mem.Poke(addr, l)
 		want[addr] = l
 	}
-	for addr, w := range want {
+	// Iterate addresses in sorted order: reads and writes mutate cache
+	// state (fills, evictions) and consume rng draws, so map order would
+	// make each run exercise a different interleaving.
+	addrs := make([]line.Addr, 0, len(want))
+	for addr := range want {
+		addrs = append(addrs, addr)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
 		got, _ := c.Read(addr)
-		if got != w {
-			t.Fatalf("Read(%#x) mismatch\n got %v\nwant %v", uint64(addr), got, w)
+		if got != want[addr] {
+			t.Fatalf("Read(%#x) mismatch\n got %v\nwant %v", uint64(addr), got, want[addr])
 		}
 	}
 	// Re-read: must hit and still match.
-	for addr, w := range want {
+	for _, addr := range addrs {
 		got, hit := c.Read(addr)
 		if !hit {
 			t.Errorf("Read(%#x): expected hit", uint64(addr))
 		}
-		if got != w {
+		if got != want[addr] {
 			t.Fatalf("re-Read(%#x) mismatch", uint64(addr))
 		}
 	}
 	// Writes change content; reads observe them.
-	for addr := range want {
+	for _, addr := range addrs {
 		var l line.Line
 		for i := range l {
 			l[i] = byte(rng.Uint32())
@@ -60,9 +69,9 @@ func TestReadWriteRoundTrip(t *testing.T) {
 		c.Write(addr, l)
 		want[addr] = l
 	}
-	for addr, w := range want {
+	for _, addr := range addrs {
 		got, _ := c.Read(addr)
-		if got != w {
+		if got != want[addr] {
 			t.Fatalf("post-write Read(%#x) mismatch", uint64(addr))
 		}
 	}

@@ -47,7 +47,6 @@ func TestDiagMcfClusters(t *testing.T) {
 	// Per-fingerprint: diff of each member against the first (clusteroid).
 	var diffs []int
 	var zeroDiffWins int
-	var sizes []int
 	for _, members := range byFP {
 		base := &lines[members[0]]
 		for _, m := range members[1:] {
@@ -57,7 +56,6 @@ func TestDiagMcfClusters(t *testing.T) {
 			if enc.Format == diffenc.FormatZeroDiff {
 				zeroDiffWins++
 			}
-			sizes = append(sizes, len(members))
 		}
 	}
 	sort.Ints(diffs)

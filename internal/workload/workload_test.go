@@ -172,11 +172,10 @@ func TestSeqFieldKillsExactDuplicates(t *testing.T) {
 	})
 	seen := map[line.Line]int{}
 	for i := 0; i < 1000; i++ {
-		seen[g.Line(i, 0)]++
-	}
-	for l, n := range seen {
-		if n > 1 {
-			t.Fatalf("line repeated %d times: %v", n, l)
+		l := g.Line(i, 0)
+		seen[l]++
+		if seen[l] > 1 {
+			t.Fatalf("line at step %d repeated %d times: %v", i, seen[l], l)
 		}
 	}
 }
