@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck lint build test race fuzz bench
+.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json
 
-ci: fmtcheck vet lint build test race
+ci: fmtcheck vet lint build test race benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -34,10 +34,19 @@ test:
 
 # The worker pools live in harness (RunMatrix, ParMap) and are driven by
 # the experiments package; -race over their tests catches data races in
-# the parallel campaign paths. Short trace lengths keep this a smoke
-# pass, not a full campaign.
+# the parallel campaign paths — including the per-worker scratch arenas
+# the Thesaurus/BΔI caches carry (docs/performance.md). Short trace
+# lengths keep this a smoke pass, not a full campaign.
 race:
-	$(GO) test -race -count=1 ./internal/harness ./internal/experiments
+	$(GO) test -race -count=1 ./internal/harness ./internal/experiments ./internal/thesaurus
+
+# Compile-and-run the micro-benchmarks once: catches benchmarks broken by
+# API changes without paying full measurement time. The figure benchmarks
+# in the root package are excluded — even one iteration runs a whole
+# experiment.
+benchsmoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/... > /dev/null
+	$(GO) test -run='^$$' -bench='Fingerprint|ReadHit|InsertStream|WorkloadGeneration' -benchtime=1x . > /dev/null
 
 # Short fuzzing smoke over the encoding and fingerprint invariants; the
 # corpus seeds come from the unit-test vectors, so even a few seconds
@@ -48,3 +57,9 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/line ./internal/diffenc ./internal/lsh
+
+# Machine-readable hot-path benchmark trajectory (ns/access, allocs/access,
+# MB/s per design point). Regenerate after performance work and commit the
+# result; docs/performance.md describes the format.
+bench-json:
+	$(GO) run ./cmd/thesaurus -benchjson BENCH_hotpath.json

@@ -1,0 +1,163 @@
+// Allocation-regression tests pinning the zero-allocation contract of the
+// steady-state access paths (docs/performance.md): once a working set is
+// resident and the per-cache scratch buffers have converged, Read/Write
+// hits, LSH fingerprinting, and diff encode/decode round trips must not
+// touch the heap. testing.AllocsPerRun makes the contract mechanical — a
+// regression fails this test instead of showing up only as a slowly
+// degrading campaign wall time.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bdicache"
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/lsh"
+	"repro/internal/memory"
+	"repro/internal/thesaurus"
+)
+
+// residentLines is the steady-state working set: small enough that the
+// default Thesaurus geometry (32768 tags, 11700 data entries) holds every
+// line without data-array evictions, large enough to spread across sets.
+const residentLines = 512
+
+// residentLine builds line i at version v: a shared byte ramp with the
+// index in the low bytes and the version in one more, so lines cluster
+// under LSH, diffs stay small and size-stable across versions, and no two
+// lines are identical.
+func residentLine(i int, v uint32) line.Line {
+	var l line.Line
+	for j := range l {
+		l[j] = byte(j)
+	}
+	l[0] = byte(i)
+	l[1] = byte(i >> 8)
+	l[2] = byte(v)
+	return l
+}
+
+func addrOf(i int) line.Addr { return line.Addr(i * line.Size) }
+
+// warmThesaurus installs the working set and runs one extra write pass at
+// each version so every slot's delta-buffer capacity has converged.
+func warmThesaurus(tb testing.TB) *thesaurus.Cache {
+	tb.Helper()
+	c := thesaurus.MustNew(thesaurus.DefaultConfig(), memory.NewStore())
+	for v := uint32(0); v < 2; v++ {
+		for i := 0; i < residentLines; i++ {
+			c.Write(addrOf(i), residentLine(i, v))
+		}
+	}
+	return c
+}
+
+func TestThesaurusReadHitAllocFree(t *testing.T) {
+	c := warmThesaurus(t)
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < residentLines; i++ {
+			if _, hit := c.Read(addrOf(i)); !hit {
+				t.Fatal("steady-state read missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Read hit allocates: %.2f allocs per %d reads", allocs, residentLines)
+	}
+}
+
+func TestThesaurusWriteHitAllocFree(t *testing.T) {
+	c := warmThesaurus(t)
+	v := uint32(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		v ^= 1 // alternate content so re-encoding genuinely runs
+		for i := 0; i < residentLines; i++ {
+			if !c.Write(addrOf(i), residentLine(i, v)) {
+				t.Fatal("steady-state write missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Write hit allocates: %.2f allocs per %d writes", allocs, residentLines)
+	}
+}
+
+func TestThesaurusUnchangedWriteHitAllocFree(t *testing.T) {
+	// Re-writes of identical content take the memoized-fingerprint path
+	// (thesaurus.Cache.Write); it too must stay allocation-free.
+	c := warmThesaurus(t)
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < residentLines; i++ {
+			if !c.Write(addrOf(i), residentLine(i, 1)) {
+				t.Fatal("steady-state write missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unchanged Write hit allocates: %.2f allocs per %d writes", allocs, residentLines)
+	}
+}
+
+func TestBDICacheHitAllocFree(t *testing.T) {
+	c := bdicache.MustNew(bdicache.DefaultConfig(), memory.NewStore())
+	for v := uint32(0); v < 2; v++ {
+		for i := 0; i < residentLines; i++ {
+			c.Write(addrOf(i), residentLine(i, v))
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := 0; i < residentLines; i++ {
+			if _, hit := c.Read(addrOf(i)); !hit {
+				t.Fatal("steady-state read missed")
+			}
+			if !c.Write(addrOf(i), residentLine(i, 0)) {
+				t.Fatal("steady-state write missed")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BDI hit path allocates: %.2f allocs per %d accesses", allocs, 2*residentLines)
+	}
+}
+
+func TestLSHFingerprintAllocFree(t *testing.T) {
+	h := lsh.MustNew(lsh.DefaultConfig())
+	l := residentLine(7, 0)
+	var sink lsh.Fingerprint
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink ^= h.Fingerprint(&l)
+	})
+	if allocs != 0 {
+		t.Fatalf("Fingerprint allocates: %.2f allocs/op", allocs)
+	}
+	proj := make([]int, 0, h.Bits())
+	allocs = testing.AllocsPerRun(1000, func() {
+		proj = h.AppendProject(proj[:0], &l)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendProject with capacity allocates: %.2f allocs/op", allocs)
+	}
+}
+
+func TestDiffencRoundTripAllocFree(t *testing.T) {
+	base := residentLine(3, 0)
+	l := base
+	l[5] += 9
+	l[41] -= 3
+	var enc diffenc.Encoded
+	var out line.Line
+	diffenc.EncodeInto(&enc, &l, &base) // converge Deltas capacity
+	allocs := testing.AllocsPerRun(1000, func() {
+		diffenc.EncodeInto(&enc, &l, &base)
+		if err := diffenc.DecodeInto(&out, &enc, &base); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("diffenc round trip allocates: %.2f allocs/op", allocs)
+	}
+	if out != l {
+		t.Fatal("round trip corrupted the line")
+	}
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/bdi"
+	"repro/internal/bdicache"
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/lsh"
+	"repro/internal/memory"
+	"repro/internal/thesaurus"
+)
+
+// benchSchema versions the BENCH_hotpath.json layout so downstream tooling
+// can detect format changes.
+const benchSchema = "thesaurus-bench-hotpath/v1"
+
+// benchEntry is one benchmark row of the machine-readable trajectory.
+type benchEntry struct {
+	// Name identifies the kernel or design-point path measured.
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation (one access for the hot paths).
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation; the steady-state
+	// access paths are contractually 0 (see allocs_test.go).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes allocated per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// MBPerSec is line-payload throughput (64 B per access).
+	MBPerSec float64 `json:"mb_per_s"`
+	// Iterations is the measured iteration count (sanity signal).
+	Iterations int `json:"iterations"`
+}
+
+// benchDoc is the top-level BENCH_hotpath.json document.
+type benchDoc struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// benchLine builds the test line used across the hot-path benchmarks: a
+// shared ramp with the index in the low bytes so lines cluster under LSH
+// with small, stable diffs.
+func benchLine(i int, v uint32) line.Line {
+	var l line.Line
+	for j := range l {
+		l[j] = byte(j)
+	}
+	l[0] = byte(i)
+	l[1] = byte(i >> 8)
+	l[2] = byte(v)
+	return l
+}
+
+const benchResidentLines = 512
+
+// warmThesaurusCache builds a cache with a resident working set whose
+// scratch buffers have converged (two write passes), so the measured loop
+// is pure steady state.
+func warmThesaurusCache(cfg thesaurus.Config) *thesaurus.Cache {
+	c := thesaurus.MustNew(cfg, memory.NewStore())
+	for v := uint32(0); v < 2; v++ {
+		for i := 0; i < benchResidentLines; i++ {
+			c.Write(line.Addr(i*line.Size), benchLine(i, v))
+		}
+	}
+	return c
+}
+
+// runBenchJSON measures the hot-path kernels and end-to-end access paths
+// and writes the JSON document to path ("-" = stdout). The numbers are
+// wall-clock measurements and naturally vary run to run; they are emitted
+// to a separate artifact precisely so the deterministic report output
+// stays byte-identical.
+func runBenchJSON(path string) error {
+	var entries []benchEntry
+	add := func(name string, bytesPerOp int64, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		mbps := 0.0
+		if bytesPerOp > 0 && r.T.Seconds() > 0 {
+			mbps = float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
+		}
+		entries = append(entries, benchEntry{
+			Name:        name,
+			NsPerOp:     nsPerOp,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			MBPerSec:    mbps,
+			Iterations:  r.N,
+		})
+		fmt.Fprintf(os.Stderr, "%-28s %10.1f ns/op %6d allocs/op %10.1f MB/s\n",
+			name, nsPerOp, r.AllocsPerOp(), mbps)
+	}
+
+	// --- kernels ---
+	add("lsh_fingerprint", line.Size, func(b *testing.B) {
+		h := lsh.MustNew(lsh.DefaultConfig())
+		l := benchLine(7, 0)
+		b.ReportAllocs()
+		var sink lsh.Fingerprint
+		for i := 0; i < b.N; i++ {
+			sink ^= h.Fingerprint(&l)
+		}
+		_ = sink
+	})
+	add("diffenc_roundtrip", line.Size, func(b *testing.B) {
+		base := benchLine(3, 0)
+		l := base
+		l[5] += 9
+		l[41] -= 3
+		var enc diffenc.Encoded
+		var out line.Line
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			diffenc.EncodeInto(&enc, &l, &base)
+			if err := diffenc.DecodeInto(&out, &enc, &base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("bdi_compress", line.Size, func(b *testing.B) {
+		l := benchLine(3, 0)
+		var enc bdi.Encoded
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bdi.CompressInto(&enc, &l)
+		}
+	})
+
+	// --- end-to-end access paths, per design point ---
+	designs := []struct {
+		name string
+		cfg  thesaurus.Config
+	}{
+		{"1mb", thesaurus.DefaultConfig()},
+		{"2mb", thesaurus.ScaledConfig(2 << 20)},
+	}
+	for _, d := range designs {
+		cfg := d.cfg
+		add("thesaurus_read_hit_"+d.name, line.Size, func(b *testing.B) {
+			c := warmThesaurusCache(cfg)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Read(line.Addr((i % benchResidentLines) * line.Size))
+			}
+		})
+		add("thesaurus_write_hit_"+d.name, line.Size, func(b *testing.B) {
+			c := warmThesaurusCache(cfg)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				n := i % benchResidentLines
+				c.Write(line.Addr(n*line.Size), benchLine(n, uint32(i/benchResidentLines)&1))
+			}
+		})
+	}
+	add("bdi_read_hit", line.Size, func(b *testing.B) {
+		c := bdicache.MustNew(bdicache.DefaultConfig(), memory.NewStore())
+		for i := 0; i < benchResidentLines; i++ {
+			c.Write(line.Addr(i*line.Size), benchLine(i, 0))
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Read(line.Addr((i % benchResidentLines) * line.Size))
+		}
+	})
+
+	doc := benchDoc{
+		Schema:     benchSchema,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: entries,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

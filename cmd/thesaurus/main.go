@@ -16,6 +16,7 @@
 //	-quick        reduced trace length for a fast smoke run
 //	-workers N    bound experiment concurrency (0 = GOMAXPROCS, 1 = serial)
 //	-json         emit one machine-readable JSON document instead of text reports
+//	-benchjson f  run the hot-path benchmarks and write BENCH_hotpath.json to f
 //	-cpuprofile f write a pprof CPU profile of the whole campaign to f
 //	-memprofile f write a pprof heap profile at exit to f
 package main
@@ -40,9 +41,17 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced trace length (smoke run)")
 	workers := flag.Int("workers", 0, "experiment concurrency (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text reports")
+	benchjson := flag.String("benchjson", "", "run hot-path benchmarks and write JSON to file (\"-\" = stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write pprof CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write pprof heap profile to file")
 	flag.Parse()
+
+	if *benchjson != "" {
+		if err := runBenchJSON(*benchjson); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	opt := experiments.Default()
 	opt.Accesses = *n

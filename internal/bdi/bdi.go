@@ -63,7 +63,9 @@ type geometry struct {
 	sizeBytes  int
 }
 
-var geometries = map[Kind]geometry{
+// geometries is indexed by Kind (array, not map: the placement hot paths
+// consult it per encoding trial). KindUncompressed has the zero geometry.
+var geometries = [...]geometry{
 	KindZeros: {8, 0, 1},
 	KindRep:   {8, 0, 8},
 	KindB8D1:  {8, 1, 16},
@@ -72,6 +74,15 @@ var geometries = map[Kind]geometry{
 	KindB4D1:  {4, 1, 20},
 	KindB4D2:  {4, 2, 36},
 	KindB2D1:  {2, 1, 34},
+}
+
+// geomOf returns the geometry for k, reporting false for kinds without one
+// (uncompressed or out of range).
+func geomOf(k Kind) (geometry, bool) {
+	if int(k) >= len(geometries) || geometries[k].wordBytes == 0 {
+		return geometry{}, false
+	}
+	return geometries[k], true
 }
 
 // Encoded is a compressed line. Deltas[i] is the signed delta of word i
@@ -90,7 +101,8 @@ func (e Encoded) SizeBytes() int {
 	if e.Kind == KindUncompressed {
 		return line.Size
 	}
-	return geometries[e.Kind].sizeBytes
+	g, _ := geomOf(e.Kind)
+	return g.sizeBytes
 }
 
 // Compressed reports whether the encoding is smaller than a raw line.
@@ -102,61 +114,28 @@ func fitsSigned(v int64, n int) bool {
 	return v<<shift>>shift == v
 }
 
-// wordsOf splits l into words of the given byte width (little-endian).
-func wordsOf(l *line.Line, wordBytes int) []uint64 {
-	n := line.Size / wordBytes
-	out := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		switch wordBytes {
-		case 8:
-			out[i] = binary.LittleEndian.Uint64(l[i*8:])
-		case 4:
-			out[i] = uint64(binary.LittleEndian.Uint32(l[i*4:]))
-		case 2:
-			out[i] = uint64(binary.LittleEndian.Uint16(l[i*2:]))
-		default:
-			panic("bdi: unsupported word size")
-		}
-	}
-	return out
-}
-
-// tryEncode attempts one base+delta geometry. Words representable as a
-// small delta from zero use the implicit zero base; the first word that is
-// not becomes the explicit base.
-func tryEncode(l *line.Line, k Kind) (Encoded, bool) {
-	g := geometries[k]
-	words := wordsOf(l, g.wordBytes)
-	e := Encoded{Kind: k, Deltas: make([]int64, len(words))}
-	haveBase := false
-	signBits := uint(g.wordBytes * 8)
-	for i, w := range words {
-		// Sign-extend the word itself for the zero-base test.
-		sw := int64(w << (64 - signBits) >> (64 - signBits))
-		if fitsSigned(sw, g.deltaBytes) {
-			e.ZeroBase |= 1 << uint(i)
-			e.Deltas[i] = sw
-			continue
-		}
-		if !haveBase {
-			e.Base = w
-			haveBase = true
-		}
-		d := int64(w) - int64(e.Base)
-		// Deltas are computed modulo the word width.
-		d = d << (64 - signBits) >> (64 - signBits)
-		if !fitsSigned(d, g.deltaBytes) {
-			return Encoded{}, false
-		}
-		e.Deltas[i] = d
-	}
-	return e, true
-}
+// deltaKinds lists the base+delta geometries in trial order.
+var deltaKinds = [...]Kind{KindB8D1, KindB8D2, KindB8D4, KindB4D1, KindB4D2, KindB2D1}
 
 // Compress encodes l with the smallest valid BΔI encoding.
+//
+// Compress allocates the delta slice of the winning encoding; hot paths
+// with a reusable Encoded should call CompressInto, and callers that only
+// need the compressed size should call CompressedSize (allocation-free).
 func Compress(l *line.Line) Encoded {
+	var e Encoded
+	CompressInto(&e, l)
+	return e
+}
+
+// CompressInto is Compress with a caller-owned destination, reusing dst's
+// delta buffer capacity. Any previous contents of *dst are discarded.
+func CompressInto(dst *Encoded, l *line.Line) {
+	deltas := dst.Deltas[:0]
+	*dst = Encoded{Deltas: deltas}
 	if l.IsZero() {
-		return Encoded{Kind: KindZeros}
+		dst.Kind = KindZeros
+		return
 	}
 	w := l.Words()
 	rep := true
@@ -167,16 +146,92 @@ func Compress(l *line.Line) Encoded {
 		}
 	}
 	if rep {
-		return Encoded{Kind: KindRep, Base: w[0]}
+		dst.Kind = KindRep
+		dst.Base = w[0]
+		return
 	}
-	best := Encoded{Kind: KindUncompressed, Raw: *l}
+	// Pick the winner by size first (feasibility checks allocate nothing),
+	// then materialize only the winning encoding's deltas.
+	bestKind := KindUncompressed
 	bestSize := line.Size
-	for _, k := range []Kind{KindB8D1, KindB8D2, KindB8D4, KindB4D1, KindB4D2, KindB2D1} {
-		if e, ok := tryEncode(l, k); ok && e.SizeBytes() < bestSize {
-			best, bestSize = e, e.SizeBytes()
+	for _, k := range deltaKinds {
+		if s := geometries[k].sizeBytes; s < bestSize && tryFits(l, k) {
+			bestKind, bestSize = k, s
 		}
 	}
-	return best
+	if bestKind == KindUncompressed {
+		dst.Kind = KindUncompressed
+		dst.Raw = *l
+		return
+	}
+	fillEncode(dst, l, bestKind)
+}
+
+// fillEncode materializes the (known-feasible) encoding k of l into *dst,
+// reusing dst.Deltas capacity.
+func fillEncode(dst *Encoded, l *line.Line, k Kind) {
+	g := geometries[k]
+	n := line.Size / g.wordBytes
+	dst.Kind = k
+	haveBase := false
+	signBits := uint(g.wordBytes * 8)
+	for i := 0; i < n; i++ {
+		w := wordAt(l, g.wordBytes, i)
+		sw := int64(w << (64 - signBits) >> (64 - signBits))
+		if fitsSigned(sw, g.deltaBytes) {
+			dst.ZeroBase |= 1 << uint(i)
+			dst.Deltas = append(dst.Deltas, sw)
+			continue
+		}
+		if !haveBase {
+			dst.Base = w
+			haveBase = true
+		}
+		d := int64(w) - int64(dst.Base)
+		d = d << (64 - signBits) >> (64 - signBits)
+		dst.Deltas = append(dst.Deltas, d)
+	}
+}
+
+// wordAt extracts word i of width wordBytes from l (little-endian).
+func wordAt(l *line.Line, wordBytes, i int) uint64 {
+	switch wordBytes {
+	case 8:
+		return binary.LittleEndian.Uint64(l[i*8:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(l[i*4:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(l[i*2:]))
+	default:
+		panic("bdi: unsupported word size")
+	}
+}
+
+// tryFits reports whether geometry k can encode l, without materializing
+// the deltas: feasibility and size are all the placement paths need.
+func tryFits(l *line.Line, k Kind) bool {
+	g := geometries[k]
+	n := line.Size / g.wordBytes
+	haveBase := false
+	var base uint64
+	signBits := uint(g.wordBytes * 8)
+	for i := 0; i < n; i++ {
+		w := wordAt(l, g.wordBytes, i)
+		sw := int64(w << (64 - signBits) >> (64 - signBits))
+		if fitsSigned(sw, g.deltaBytes) {
+			continue
+		}
+		if !haveBase {
+			base = w
+			haveBase = true
+		}
+		d := int64(w) - int64(base)
+		d = d << (64 - signBits) >> (64 - signBits)
+		if !fitsSigned(d, g.deltaBytes) {
+			return false
+		}
+	}
+	return true
 }
 
 // Decompress reconstructs the original line from e.
@@ -193,7 +248,7 @@ func Decompress(e Encoded) (line.Line, error) {
 		}
 		return line.FromWords(w), nil
 	}
-	g, ok := geometries[e.Kind]
+	g, ok := geomOf(e.Kind)
 	if !ok {
 		return line.Zero, fmt.Errorf("bdi: unknown kind %d", e.Kind)
 	}
@@ -220,8 +275,30 @@ func Decompress(e Encoded) (line.Line, error) {
 	return out, nil
 }
 
-// CompressedSize is a convenience returning just the BΔI size of l in
-// bytes; the cache model uses this on its hot path.
-func CompressedSize(l *line.Line) int {
-	return Compress(l).SizeBytes()
+// CompressedSize returns the smallest BΔI size of l in bytes and whether
+// that is smaller than a raw line. It runs the feasibility scans only —
+// no delta slice is ever built — so the cache models can consult it on
+// their hot paths allocation-free.
+func CompressedSize(l *line.Line) (int, bool) {
+	if l.IsZero() {
+		return geometries[KindZeros].sizeBytes, true
+	}
+	w := l.Words()
+	rep := true
+	for _, v := range w[1:] {
+		if v != w[0] {
+			rep = false
+			break
+		}
+	}
+	if rep {
+		return geometries[KindRep].sizeBytes, true
+	}
+	bestSize := line.Size
+	for _, k := range deltaKinds {
+		if s := geometries[k].sizeBytes; s < bestSize && tryFits(l, k) {
+			bestSize = s
+		}
+	}
+	return bestSize, bestSize < line.Size
 }

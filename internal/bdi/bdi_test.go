@@ -152,8 +152,19 @@ func TestSizeTable(t *testing.T) {
 
 func TestCompressedSizeNeverLarger(t *testing.T) {
 	if err := quick.Check(func(l line.Line) bool {
-		return CompressedSize(&l) <= line.Size
+		size, ok := CompressedSize(&l)
+		return size <= line.Size && ok == (size < line.Size)
 	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressedSizeMatchesCompress(t *testing.T) {
+	if err := quick.Check(func(l line.Line) bool {
+		e := Compress(&l)
+		size, ok := CompressedSize(&l)
+		return size == e.SizeBytes() && ok == e.Compressed()
+	}, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -77,6 +77,13 @@ type Cache struct {
 
 	stats llc.Stats
 	extra ExtraStats
+
+	// encScratch is the per-cache scratch encoding installs compress into
+	// before copying into the (freshly zeroed) tag payload; deltaPool
+	// recycles the delta buffers of retired entries so steady-state
+	// installs allocate nothing (docs/performance.md).
+	encScratch bdi.Encoded
+	deltaPool  [][]int64
 }
 
 var _ llc.Cache = (*Cache)(nil)
@@ -118,7 +125,7 @@ func (c *Cache) setOf(addr line.Addr) int {
 }
 
 // segsFor returns the segment footprint of an encoded block.
-func segsFor(e bdi.Encoded) int {
+func segsFor(e *bdi.Encoded) int {
 	s := (e.SizeBytes() + segmentBytes - 1) / segmentBytes
 	if s < 1 {
 		s = 1
@@ -154,11 +161,16 @@ func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 		c.stats.WriteHits++
 		set := c.setOf(addr)
 		c.usedSegs[set] -= e.Payload.segs
-		e.Payload = tagPayload{}
-		enc := bdi.Compress(&data)
-		c.makeRoom(addr, segsFor(enc))
-		e.Payload = tagPayload{enc: enc, segs: segsFor(enc)}
-		c.usedSegs[set] += e.Payload.segs
+		// Recompress in place: the payload keeps its delta buffer across
+		// re-encodings, so steady-state write hits allocate nothing. segs
+		// stays 0 while makeRoom runs (the entry has no footprint during
+		// the re-fit, exactly as when the payload was wiped wholesale).
+		e.Payload.segs = 0
+		bdi.CompressInto(&e.Payload.enc, &data)
+		need := segsFor(&e.Payload.enc)
+		c.makeRoom(addr, need)
+		e.Payload.segs = need
+		c.usedSegs[set] += need
 		e.Dirty = true
 		return true
 	}
@@ -168,7 +180,8 @@ func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 
 // install compresses and inserts a new line.
 func (c *Cache) install(addr line.Addr, data line.Line, dirty bool) {
-	enc := bdi.Compress(&data)
+	enc := &c.encScratch
+	bdi.CompressInto(enc, &data)
 	need := segsFor(enc)
 	set := c.setOf(addr)
 
@@ -177,7 +190,15 @@ func (c *Cache) install(addr line.Addr, data line.Line, dirty bool) {
 		c.retire(set, evicted)
 	}
 	c.makeRoom(addr, need)
-	e.Payload = tagPayload{enc: enc, segs: need}
+	// Deep-copy the scratch encoding into the freshly zeroed payload,
+	// backing it with a recycled delta buffer when one is available.
+	var buf []int64
+	if n := len(c.deltaPool); n > 0 {
+		buf, c.deltaPool = c.deltaPool[n-1], c.deltaPool[:n-1]
+	}
+	e.Payload.enc = *enc
+	e.Payload.enc.Deltas = append(buf[:0], enc.Deltas...)
+	e.Payload.segs = need
 	e.Dirty = dirty
 	c.usedSegs[set] += need
 
@@ -205,7 +226,8 @@ func (c *Cache) makeRoom(addr line.Addr, need int) {
 	}
 }
 
-// retire writes back a displaced line and releases its segments.
+// retire writes back a displaced line, releases its segments, and
+// reclaims its delta buffer for the install pool.
 func (c *Cache) retire(set int, evicted cache.Entry[tagPayload]) {
 	c.usedSegs[set] -= evicted.Payload.segs
 	if evicted.Dirty {
@@ -215,6 +237,9 @@ func (c *Cache) retire(set int, evicted cache.Entry[tagPayload]) {
 		}
 		c.mem.Write(evicted.Addr, data, memory.Writeback)
 		c.stats.Writebacks++
+	}
+	if cap(evicted.Payload.enc.Deltas) > 0 {
+		c.deltaPool = append(c.deltaPool, evicted.Payload.enc.Deltas[:0])
 	}
 }
 

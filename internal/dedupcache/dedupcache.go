@@ -369,8 +369,10 @@ func (c *Cache) Footprint() llc.Footprint {
 }
 
 // CheckInvariants validates refcounts and list structure; used by tests.
+// (The access path itself allocates only at construction: the hash chain
+// and free list are fixed-capacity, so no scratch arena is needed here.)
 func (c *Cache) CheckInvariants() error {
-	refs := make(map[int]int)
+	refs := make(map[int]int, c.cfg.DataEntries)
 	var err error
 	c.tags.ForEach(func(idx int, e *cache.Entry[tagPayload]) {
 		di := e.Payload.dataIdx

@@ -93,6 +93,34 @@ func NewIntra(l line.Line, sizeBytes int) Encoded {
 	return Encoded{Format: FormatIntra, Raw: l, IntraBytes: sizeBytes}
 }
 
+// SetRaw resets e to a raw encoding of l, preserving e's delta buffer
+// capacity for later reuse (scratch-arena discipline, docs/performance.md).
+func (e *Encoded) SetRaw(l *line.Line) {
+	deltas := e.Deltas[:0]
+	*e = Encoded{Format: FormatRaw, Raw: *l, Deltas: deltas}
+}
+
+// SetIntra resets e to an intra-line (BΔI) encoding of l accounting
+// sizeBytes, preserving e's delta buffer capacity. It is NewIntra for
+// reusable destinations.
+func (e *Encoded) SetIntra(l *line.Line, sizeBytes int) {
+	if sizeBytes <= 0 || sizeBytes > line.Size {
+		panic(fmt.Sprintf("diffenc: intra size %d out of range", sizeBytes))
+	}
+	deltas := e.Deltas[:0]
+	*e = Encoded{Format: FormatIntra, Raw: *l, IntraBytes: sizeBytes, Deltas: deltas}
+}
+
+// CopyFrom deep-copies src into e, reusing e's delta buffer capacity so
+// long-lived entries (data-array slots) can take ownership of a scratch
+// encoding without aliasing the scratch buffer or allocating once their
+// buffer has grown to the steady-state diff size.
+func (e *Encoded) CopyFrom(src *Encoded) {
+	deltas := append(e.Deltas[:0], src.Deltas...)
+	*e = *src
+	e.Deltas = deltas
+}
+
 // DiffSizeBytes returns the data-array footprint in bytes of a diff with n
 // differing bytes: the 64-bit mask plus the deltas.
 func DiffSizeBytes(n int) int { return 8 + n }
@@ -124,86 +152,124 @@ var MaxCompressibleDiffBytes = maxCompressibleDiff()
 // encoding. base may be nil when the line's cluster has no clusteroid yet
 // (then only all-zero, 0+diff, and raw are candidates). Encode never
 // returns FormatBaseOnly for a nil base.
+//
+// Encode allocates the delta buffer of the winning encoding; hot paths
+// with a reusable Encoded should call EncodeInto instead.
 func Encode(l, base *line.Line) Encoded {
+	var e Encoded
+	EncodeInto(&e, l, base)
+	return e
+}
+
+// EncodeInto is Encode with a caller-owned destination: the winning
+// encoding is written into *dst, reusing dst's delta buffer capacity.
+// Any previous contents of *dst are discarded. Once the buffer has grown
+// to the steady-state diff size the call is allocation-free, which is
+// what keeps (de)compression off the critical path of the simulated
+// access loop (the software mirror of the paper's §5 discipline).
+func EncodeInto(dst *Encoded, l, base *line.Line) {
+	deltas := dst.Deltas[:0]
+	*dst = Encoded{Deltas: deltas}
 	if l.IsZero() {
-		return Encoded{Format: FormatAllZero}
+		dst.Format = FormatAllZero
+		return
 	}
-	best := Encoded{Format: FormatRaw, Raw: *l}
+	dst.Format = FormatRaw
+	dst.Raw = *l
 	bestSeg := SegmentsPerLine
 	// base+diff is evaluated first so it wins segment-count ties against
 	// 0+diff: staying in the cluster keeps the clusteroid referenced and
 	// avoids re-forming it later.
 	if base != nil {
 		if l.Equal(base) {
-			return Encoded{Format: FormatBaseOnly}
+			dst.Format = FormatBaseOnly
+			dst.Raw = line.Zero
+			return
 		}
 		baseDiff := line.DiffBytes(l, base)
 		if s := diffSegments(baseDiff); s < bestSeg {
-			best = encodeDiff(FormatBaseDiff, l, base)
+			encodeDiffInto(dst, FormatBaseDiff, l, base)
 			bestSeg = s
 		}
 	}
 	zeroDiff := l.PopCountNonZero()
 	if s := diffSegments(zeroDiff); s < bestSeg {
-		best = encodeDiff(FormatZeroDiff, l, &line.Zero)
-		bestSeg = s
+		encodeDiffInto(dst, FormatZeroDiff, l, &line.Zero)
 	}
-	return best
 }
 
-// encodeDiff builds the mask+deltas representation of l against ref.
-// Set bits are visited directly with TrailingZeros64 instead of scanning
-// all 64 byte positions: diffs average well under 16 bytes (Fig. 18), so
-// the loop runs per differing byte, not per position.
-func encodeDiff(f Format, l, ref *line.Line) Encoded {
-	e := Encoded{Format: f, Mask: line.DiffMask(l, ref)}
-	n := bits.OnesCount64(e.Mask)
-	e.Deltas = make([]byte, 0, n)
-	for m := e.Mask; m != 0; m &= m - 1 {
-		e.Deltas = append(e.Deltas, l[bits.TrailingZeros64(m)])
+// encodeDiffInto builds the mask+deltas representation of l against ref
+// in *dst, reusing dst.Deltas capacity. Set bits are visited directly
+// with TrailingZeros64 instead of scanning all 64 byte positions: diffs
+// average well under 16 bytes (Fig. 18), so the loop runs per differing
+// byte, not per position.
+func encodeDiffInto(dst *Encoded, f Format, l, ref *line.Line) {
+	dst.Format = f
+	dst.Mask = line.DiffMask(l, ref)
+	dst.Raw = line.Zero
+	dst.Deltas = dst.Deltas[:0]
+	for m := dst.Mask; m != 0; m &= m - 1 {
+		dst.Deltas = append(dst.Deltas, l[bits.TrailingZeros64(m)])
 	}
-	return e
 }
 
 // Decode reconstructs the original line. base must be the cluster base for
 // FormatBaseDiff and FormatBaseOnly and is ignored otherwise. It returns
 // an error if a needed base is missing or the encoding is malformed.
 func Decode(e Encoded, base *line.Line) (line.Line, error) {
+	var out line.Line
+	err := DecodeInto(&out, &e, base)
+	return out, err
+}
+
+// DecodeInto reconstructs the original line into *dst. It is Decode with
+// caller-owned storage and no copying of the Encoded value: the hot
+// read path hands the data-array entry in by pointer and decodes straight
+// into its return buffer. On error *dst is left zeroed.
+func DecodeInto(dst *line.Line, e *Encoded, base *line.Line) error {
 	switch e.Format {
 	case FormatAllZero:
-		return line.Zero, nil
+		*dst = line.Zero
+		return nil
 	case FormatRaw, FormatIntra:
-		return e.Raw, nil
+		*dst = e.Raw
+		return nil
 	case FormatBaseOnly:
 		if base == nil {
-			return line.Zero, fmt.Errorf("diffenc: base-only entry without base")
+			*dst = line.Zero
+			return fmt.Errorf("diffenc: base-only entry without base")
 		}
-		return *base, nil
+		*dst = *base
+		return nil
 	case FormatBaseDiff:
 		if base == nil {
-			return line.Zero, fmt.Errorf("diffenc: base+diff entry without base")
+			*dst = line.Zero
+			return fmt.Errorf("diffenc: base+diff entry without base")
 		}
-		return applyDiff(base, e.Mask, e.Deltas)
+		return applyDiff(dst, base, e.Mask, e.Deltas)
 	case FormatZeroDiff:
-		return applyDiff(&line.Zero, e.Mask, e.Deltas)
+		return applyDiff(dst, &line.Zero, e.Mask, e.Deltas)
 	default:
-		return line.Zero, fmt.Errorf("diffenc: unknown format %d", e.Format)
+		*dst = line.Zero
+		return fmt.Errorf("diffenc: unknown format %d", e.Format)
 	}
 }
 
-// applyDiff overlays the delta bytes named by mask onto ref (Fig. 7 right).
-func applyDiff(ref *line.Line, mask uint64, deltas []byte) (line.Line, error) {
+// applyDiff overlays the delta bytes named by mask onto ref (Fig. 7
+// right), writing the result to *dst.
+func applyDiff(dst, ref *line.Line, mask uint64, deltas []byte) error {
 	if bits.OnesCount64(mask) != len(deltas) {
-		return line.Zero, fmt.Errorf("diffenc: mask names %d bytes but %d deltas present",
+		*dst = line.Zero
+		return fmt.Errorf("diffenc: mask names %d bytes but %d deltas present",
 			bits.OnesCount64(mask), len(deltas))
 	}
-	out := *ref
+	*dst = *ref
 	j := 0
 	for m := mask; m != 0; m &= m - 1 {
-		out[bits.TrailingZeros64(m)] = deltas[j]
+		dst[bits.TrailingZeros64(m)] = deltas[j]
 		j++
 	}
-	return out, nil
+	return nil
 }
 
 // SizeBytes returns the data-array footprint in bytes (before segment

@@ -194,7 +194,7 @@ func TestDiffSizeBytes(t *testing.T) {
 	}
 }
 
-// naiveEncodeDiff is the 64-position scan the mask-guided encodeDiff
+// naiveEncodeDiff is the 64-position scan the mask-guided encodeDiffInto
 // replaced; the two must agree bit-for-bit.
 func naiveEncodeDiff(f Format, l, ref *line.Line) Encoded {
 	e := Encoded{Format: f, Mask: line.DiffMask(l, ref)}
@@ -232,18 +232,19 @@ func TestEncodeDiffMatchesReference(t *testing.T) {
 		for j := 0; j < nDiff; j++ {
 			l[perm[j]] ^= byte(1 + rng.Intn(255))
 		}
-		got := encodeDiff(FormatBaseDiff, &l, &ref)
+		var got Encoded
+		encodeDiffInto(&got, FormatBaseDiff, &l, &ref)
 		want := naiveEncodeDiff(FormatBaseDiff, &l, &ref)
 		if got.Format != want.Format || got.Mask != want.Mask ||
 			!bytesEqual(got.Deltas, want.Deltas) {
-			t.Fatalf("trial %d: encodeDiff mismatch\ngot  %+v\nwant %+v", trial, got, want)
+			t.Fatalf("trial %d: encodeDiffInto mismatch\ngot  %+v\nwant %+v", trial, got, want)
 		}
-		back, err := applyDiff(&ref, got.Mask, got.Deltas)
-		if err != nil {
+		var back line.Line
+		if err := applyDiff(&back, &ref, got.Mask, got.Deltas); err != nil {
 			t.Fatalf("trial %d: applyDiff: %v", trial, err)
 		}
 		if back != l {
-			t.Fatalf("trial %d: applyDiff did not invert encodeDiff", trial)
+			t.Fatalf("trial %d: applyDiff did not invert encodeDiffInto", trial)
 		}
 		if naive := naiveApplyDiff(&ref, got.Mask, got.Deltas); naive != back {
 			t.Fatalf("trial %d: applyDiff disagrees with reference", trial)

@@ -297,6 +297,17 @@ func TestParallelReportsMatchSerial(t *testing.T) {
 			}
 			return r.Report(), nil
 		}},
+		// fig13 runs every design per profile, so its workers drive the
+		// Thesaurus/BΔI/Dedup scratch-arena encode paths concurrently —
+		// under -race this pins the one-scratch-per-cache ownership rule
+		// (docs/performance.md).
+		{"fig13", func(o Options) (string, error) {
+			r, err := Fig13(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Report(), nil
+		}},
 		{"fig20", func(o Options) (string, error) {
 			r, err := Fig20(o)
 			if err != nil {
@@ -337,7 +348,7 @@ func TestParallelJSONMatchesSerial(t *testing.T) {
 	serial.Workers = 1
 	parallel := tinyOpt()
 	parallel.Workers = 4
-	names := []string{"fig1", "fig5", "fig20", "ablate-victims", "table2"}
+	names := []string{"fig1", "fig5", "fig13", "fig20", "ablate-victims", "table2"}
 	want, err := CampaignJSON(names, serial)
 	if err != nil {
 		t.Fatalf("serial: %v", err)

@@ -64,17 +64,28 @@ func (cfg Config) Validate() error {
 	return nil
 }
 
-// row holds one hash function: the byte positions with +1 and -1 weights.
-type row struct {
-	plus  []uint8
-	minus []uint8
-}
-
 // Hasher computes LSH fingerprints of cachelines. It is safe for
 // concurrent use after construction (all state is read-only).
+//
+// The projection matrix is stored flat: row r occupies
+// taps[r*NonZeros : (r+1)*NonZeros], with the row's +1 taps first and its
+// -1 taps after. One contiguous backing array instead of per-row tap
+// allocations keeps the whole matrix (Bits×NonZeros = 72 bytes at the
+// default configuration) in two cache lines; rows[] holds pre-sliced
+// views into it so each row is a single accumulator pass of two tight
+// range loops (adds, then subtracts) with no sign multiplies. Reordering
+// taps within a row is sound: the row sum is an integer addition, which
+// commutes.
 type Hasher struct {
 	cfg  Config
-	rows []row
+	taps []uint8
+	rows []rowView
+}
+
+// rowView is one projection row: views into the flat tap array for the
+// +1 and -1 coefficient positions.
+type rowView struct {
+	plus, minus []uint8
 }
 
 // New builds a Hasher from cfg. The projection matrix is derived
@@ -84,18 +95,26 @@ func New(cfg Config) (*Hasher, error) {
 		return nil, err
 	}
 	rng := xrand.New(cfg.Seed)
-	h := &Hasher{cfg: cfg, rows: make([]row, cfg.Bits)}
-	for i := range h.rows {
+	h := &Hasher{
+		cfg:  cfg,
+		taps: make([]uint8, cfg.Bits*cfg.NonZeros),
+		rows: make([]rowView, cfg.Bits),
+	}
+	for i := 0; i < cfg.Bits; i++ {
 		perm := rng.Perm(line.Size)
-		r := &h.rows[i]
+		row := h.taps[i*cfg.NonZeros : (i+1)*cfg.NonZeros]
+		np, nm := 0, 0
 		for j := 0; j < cfg.NonZeros; j++ {
 			col := uint8(perm[j])
 			if rng.Bool(0.5) {
-				r.plus = append(r.plus, col)
+				row[np] = col
+				np++
 			} else {
-				r.minus = append(r.minus, col)
+				nm++
+				row[len(row)-nm] = col
 			}
 		}
+		h.rows[i] = rowView{plus: row[:np:np], minus: row[np:]}
 	}
 	return h, nil
 }
@@ -133,11 +152,11 @@ func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 	for i := range h.rows {
 		r := &h.rows[i]
 		sum := 0
-		for _, c := range r.plus {
-			sum += int(int8(l[c]))
+		for _, t := range r.plus {
+			sum += int(int8(l[t]))
 		}
-		for _, c := range r.minus {
-			sum -= int(int8(l[c]))
+		for _, t := range r.minus {
+			sum -= int(int8(l[t]))
 		}
 		if sum > 0 {
 			fp |= 1 << uint(i)
@@ -146,22 +165,30 @@ func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 	return fp
 }
 
-// Project returns the raw signed projection vector (before sign
-// quantization); exposed for analysis and tests.
-func (h *Hasher) Project(l *line.Line) []int {
-	out := make([]int, len(h.rows))
+// AppendProject appends the raw signed projection vector of l (before
+// sign quantization) to dst and returns the extended slice. It performs
+// no allocation when dst has capacity for Bits more elements, so callers
+// with a reusable buffer project allocation-free.
+func (h *Hasher) AppendProject(dst []int, l *line.Line) []int {
 	for i := range h.rows {
 		r := &h.rows[i]
 		sum := 0
-		for _, c := range r.plus {
-			sum += int(int8(l[c]))
+		for _, t := range r.plus {
+			sum += int(int8(l[t]))
 		}
-		for _, c := range r.minus {
-			sum -= int(int8(l[c]))
+		for _, t := range r.minus {
+			sum -= int(int8(l[t]))
 		}
-		out[i] = sum
+		dst = append(dst, sum)
 	}
-	return out
+	return dst
+}
+
+// Project returns the raw signed projection vector (before sign
+// quantization); exposed for analysis and tests. Hot paths should prefer
+// AppendProject with a reused buffer.
+func (h *Hasher) Project(l *line.Line) []int {
+	return h.AppendProject(make([]int, 0, h.cfg.Bits), l)
 }
 
 // HammingFP returns the Hamming distance between two fingerprints over the

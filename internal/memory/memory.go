@@ -52,14 +52,59 @@ type LatencyModel interface {
 	Access(addr line.Addr) float64
 }
 
+// pageLines is the store's internal page size in cachelines (4 KiB
+// pages). Content is kept as a map of pages rather than a map of lines:
+// replays touch every event's line, so the per-access map probe is the
+// hottest store operation, and one probe per page instead of per line
+// keeps it off the replay profile.
+const pageLines = 64
+
+// page holds one aligned run of lines plus a presence bitmap (a line
+// reads as zero until first written, as freshly mapped pages do).
+type page struct {
+	present uint64
+	lines   [pageLines]line.Line
+}
+
 // Store is a sparse DRAM image at cacheline granularity. Unpopulated
 // lines read as zero, as freshly mapped pages do.
 type Store struct {
-	lines   map[line.Addr]line.Line
-	stats   Stats
-	latency LatencyModel
+	pages     map[uint64]*page
+	populated int
+	stats     Stats
+	latency   LatencyModel
 	// demandCycles accumulates modelled latency of demand traffic.
 	demandCycles float64
+}
+
+// locate splits addr into its page index and in-page line slot.
+func locate(addr line.Addr) (uint64, uint) {
+	la := uint64(addr) / line.Size
+	return la / pageLines, uint(la % pageLines)
+}
+
+// get returns the content of addr's line (zero if never written).
+func (s *Store) get(addr line.Addr) line.Line {
+	pi, si := locate(addr.LineAddr())
+	if p := s.pages[pi]; p != nil {
+		return p.lines[si]
+	}
+	return line.Line{}
+}
+
+// set stores data at addr's line, materializing its page on first touch.
+func (s *Store) set(addr line.Addr, data line.Line) {
+	pi, si := locate(addr.LineAddr())
+	p := s.pages[pi]
+	if p == nil {
+		p = &page{}
+		s.pages[pi] = p
+	}
+	if bit := uint64(1) << si; p.present&bit == 0 {
+		p.present |= bit
+		s.populated++
+	}
+	p.lines[si] = data
 }
 
 // AttachLatencyModel prices subsequent demand accesses (fills and
@@ -75,7 +120,7 @@ func (s *Store) DemandCycles() (float64, bool) {
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{lines: make(map[line.Addr]line.Line)}
+	return &Store{pages: make(map[uint64]*page)}
 }
 
 // Read returns the content of the line containing addr and counts one
@@ -85,7 +130,7 @@ func (s *Store) Read(addr line.Addr, kind AccessKind) line.Line {
 	if s.latency != nil && kind != BaseTable {
 		s.demandCycles += s.latency.Access(addr)
 	}
-	return s.lines[addr.LineAddr()]
+	return s.get(addr)
 }
 
 // Write stores data at addr's line and counts one access of the given kind.
@@ -94,30 +139,48 @@ func (s *Store) Write(addr line.Addr, data line.Line, kind AccessKind) {
 	if s.latency != nil && kind != BaseTable {
 		s.demandCycles += s.latency.Access(addr)
 	}
-	s.lines[addr.LineAddr()] = data
+	s.set(addr, data)
 }
 
 // Peek returns the line content without accounting (used by generators,
 // verification, and snapshotting, which model no hardware traffic).
 func (s *Store) Peek(addr line.Addr) line.Line {
-	return s.lines[addr.LineAddr()]
+	return s.get(addr)
 }
 
 // Poke sets the line content without accounting (pre-population of the
 // image before the measured window, mirroring the paper's 100B-instruction
 // warmup skip).
 func (s *Store) Poke(addr line.Addr, data line.Line) {
-	s.lines[addr.LineAddr()] = data
+	s.set(addr, data)
 }
 
 // Populated returns the number of distinct lines ever written.
-func (s *Store) Populated() int { return len(s.lines) }
+func (s *Store) Populated() int { return s.populated }
 
-// Release drops the content map, keeping the access statistics. Long
+// Reserve pre-sizes the page map for a working set of about n lines.
+// Replays stage every fill value with Poke, so an unsized map is rebuilt
+// and rehashed through a dozen doublings per replay; reserving the known
+// working-set size up front pays the allocation once. Existing content
+// is preserved.
+func (s *Store) Reserve(n int) {
+	hint := n / pageLines
+	if hint <= len(s.pages) {
+		return
+	}
+	pages := make(map[uint64]*page, hint)
+	for pi, p := range s.pages {
+		pages[pi] = p
+	}
+	s.pages = pages
+}
+
+// Release drops the content pages, keeping the access statistics. Long
 // experiment campaigns call this once a replay is finished and only the
 // counters are still needed; subsequent reads observe zero lines.
 func (s *Store) Release() {
-	s.lines = make(map[line.Addr]line.Line)
+	s.pages = make(map[uint64]*page)
+	s.populated = 0
 }
 
 // Stats returns a copy of the access counters.

@@ -38,6 +38,10 @@ type Recorded struct {
 	CoreAccesses uint64
 	L1Hits       uint64
 	L2Hits       uint64
+	// UniqueLines is the number of distinct line addresses in Events;
+	// replays use it to pre-size their backing store (one recording is
+	// replayed into many designs, so the count amortizes).
+	UniqueLines int
 }
 
 // LLCAPKI returns LLC accesses per kilo-instruction (pressure indicator).
@@ -87,8 +91,7 @@ func Record(src trace.Source, sys SystemConfig, img *memory.Store) *Recorded {
 		}
 	}
 
-	var a trace.Access
-	for src.Next(&a) {
+	handle := func(a *trace.Access) {
 		addr := a.Addr.LineAddr()
 		rec.Instructions += uint64(a.Gap) + 1
 		sinceLast += uint64(a.Gap) + 1
@@ -102,7 +105,7 @@ func Record(src trace.Source, sys SystemConfig, img *memory.Store) *Recorded {
 				e.Dirty = true
 				img.Poke(addr, a.Data)
 			}
-			continue
+			return
 		}
 		// L1 miss: look up L2.
 		l2e, _ := l2.Lookup(addr)
@@ -136,8 +139,34 @@ func Record(src trace.Source, sys SystemConfig, img *memory.Store) *Recorded {
 		_ = l1e
 	}
 
+	// Pull accesses in batches when the source supports it (the workload
+	// streams and SliceSource do): one interface call per batch instead of
+	// per access, with identical access sequence either way.
+	if bs, ok := src.(trace.BatchSource); ok {
+		var batch [512]trace.Access
+		for {
+			n := bs.FillBatch(batch[:])
+			for i := 0; i < n; i++ {
+				handle(&batch[i])
+			}
+			if n < len(batch) {
+				break
+			}
+		}
+	} else {
+		var a trace.Access
+		for src.Next(&a) {
+			handle(&a)
+		}
+	}
+
 	// Flush dirty L1/L2 state? No: the paper measures a window of steady
 	// execution; residual dirty lines simply never reach the LLC, exactly
 	// as in a windowed simulation.
+	seen := make(map[line.Addr]struct{}, len(rec.Events))
+	for i := range rec.Events {
+		seen[rec.Events[i].Addr] = struct{}{}
+	}
+	rec.UniqueLines = len(seen)
 	return rec
 }

@@ -80,6 +80,9 @@ func Replay(c llc.Cache, rec *Recorded, st *memory.Store, sys SystemConfig, opt 
 	}
 	warmup := int(opt.WarmupFraction * float64(len(rec.Events)))
 	res := Result{Design: c.Name()}
+	// Fill staging Pokes every event's line into st; size the map for the
+	// recording's working set once instead of rehashing it up per replay.
+	st.Reserve(rec.UniqueLines)
 
 	var ratioSum, occSum, residentSum float64
 	var measuredInstr uint64

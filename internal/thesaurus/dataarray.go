@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/diffenc"
+	"repro/internal/line"
 )
 
 // SlotState is the startmap marking for one data-array entry slot
@@ -42,7 +43,16 @@ type DataArray struct {
 	sets        []dataSet
 	segsPerSet  int
 	totalEvents uint64 // entries evicted to make space (stat)
+
+	// planScratch/candScratch back VictimPlan so the steady-state
+	// allocation path stays allocation-free. A VictimPlan result is valid
+	// only until the next VictimPlan call (see docs/performance.md).
+	planScratch []int
+	candScratch []victimCand
 }
+
+// victimCand is one eviction candidate considered by VictimPlan.
+type victimCand struct{ idx, segs int }
 
 // NewDataArray builds an array of numSets sets with segsPerSet segments
 // each.
@@ -50,7 +60,28 @@ func NewDataArray(numSets, segsPerSet int) *DataArray {
 	if numSets <= 0 || segsPerSet <= 0 || segsPerSet > 64 {
 		panic("thesaurus: invalid data array geometry")
 	}
-	return &DataArray{sets: make([]dataSet, numSets), segsPerSet: segsPerSet}
+	d := &DataArray{sets: make([]dataSet, numSets), segsPerSet: segsPerSet}
+	// Pre-size every startmap from one flat slab. Each live entry spans ≥2
+	// segments (a diff is mask + ≥1 delta byte; raws are 8), so a set never
+	// holds more than segsPerSet/2 slots; carving full-capacity views up
+	// front means Insert's append never grows a slice. Every slot also gets
+	// a full-width delta buffer (a diff mask covers line.Size byte
+	// positions, so no encoding carries more deltas than that): with
+	// capacity pre-staged, CopyFrom never grows either, keeping the
+	// steady-state access path allocation-free (docs/performance.md).
+	maxSlots := segsPerSet / 2
+	if maxSlots < 1 {
+		maxSlots = 1
+	}
+	slab := make([]slot, numSets*maxSlots)
+	deltas := make([]byte, len(slab)*line.Size)
+	for i := range slab {
+		slab[i].enc.Deltas = deltas[i*line.Size : i*line.Size : (i+1)*line.Size]
+	}
+	for i := range d.sets {
+		d.sets[i].slots = slab[i*maxSlots : i*maxSlots : (i+1)*maxSlots]
+	}
+	return d
 }
 
 // NumSets returns the set count.
@@ -81,7 +112,11 @@ func (d *DataArray) FreeSegs(s int) int {
 // Insert places enc (which must occupy at least one segment) into set s on
 // behalf of tag tagIdx and returns the slot index for the tag's segix
 // field. The set must have enough free segments; callers evict first.
-func (d *DataArray) Insert(s int, enc diffenc.Encoded, tagIdx int) int {
+//
+// enc is deep-copied into the slot (the slot owns its delta buffer and
+// reuses the buffer left behind by the entry previously occupying it), so
+// callers may pass a per-cache scratch encoding and reuse it immediately.
+func (d *DataArray) Insert(s int, enc *diffenc.Encoded, tagIdx int) int {
 	segs := enc.Segments()
 	if segs <= 0 {
 		panic("thesaurus: Insert of entry with no data footprint")
@@ -95,23 +130,37 @@ func (d *DataArray) Insert(s int, enc diffenc.Encoded, tagIdx int) int {
 	if enc.Format == diffenc.FormatRaw {
 		state = SlotValidRaw
 	}
-	newSlot := slot{state: state, segs: segs, tagIdx: tagIdx, enc: enc}
 	// Reuse a tombstone if present (Fig. 11d step 6), else append a new
 	// startmap position. Because every live entry spans ≥2 segments, at
 	// most segsPerSet/2 slots are live, so a position is always available.
+	idx := -1
 	for i := range set.slots {
 		if set.slots[i].state == SlotInvalid {
-			set.slots[i] = newSlot
-			set.usedSegs += segs
-			return i
+			idx = i
+			break
 		}
 	}
-	if len(set.slots) >= d.segsPerSet {
-		panic("thesaurus: startmap exhausted (invariant violated)")
+	if idx < 0 {
+		if len(set.slots) >= d.segsPerSet {
+			panic("thesaurus: startmap exhausted (invariant violated)")
+		}
+		if len(set.slots) < cap(set.slots) {
+			// Reslice rather than append: the slab slot beyond len already
+			// holds its pre-allocated delta buffer, which append(slot{})
+			// would clobber.
+			set.slots = set.slots[:len(set.slots)+1]
+		} else {
+			set.slots = append(set.slots, slot{})
+		}
+		idx = len(set.slots) - 1
 	}
-	set.slots = append(set.slots, newSlot)
+	sl := &set.slots[idx]
+	sl.state = state
+	sl.segs = segs
+	sl.tagIdx = tagIdx
+	sl.enc.CopyFrom(enc)
 	set.usedSegs += segs
-	return len(set.slots) - 1
+	return idx
 }
 
 // Get returns the encoded entry at (set, slot). It panics on tombstones or
@@ -131,14 +180,17 @@ func (d *DataArray) TagOf(s, slotIdx int) int {
 
 // Remove tombstones the entry at (set, slot), releasing its segments; the
 // remaining entries are (conceptually) compacted without renumbering
-// (Fig. 11c).
+// (Fig. 11c). The slot's delta buffer stays with the tombstone so the
+// next Insert into it runs allocation-free.
 func (d *DataArray) Remove(s, slotIdx int) {
 	sl := d.slotAt(s, slotIdx)
 	if sl.state != SlotValidRaw && sl.state != SlotValidDiff {
 		panic(fmt.Sprintf("thesaurus: Remove of non-valid slot (%d,%d)", s, slotIdx))
 	}
 	d.sets[s].usedSegs -= sl.segs
+	deltas := sl.enc.Deltas[:0]
 	*sl = slot{state: SlotInvalid, tagIdx: -1}
+	sl.enc.Deltas = deltas
 }
 
 func (d *DataArray) slotAt(s, slotIdx int) *slot {
@@ -154,7 +206,9 @@ func (d *DataArray) slotAt(s, slotIdx int) *slot {
 
 // VictimPlan lists the entries (slot indices, largest first) that must be
 // evicted from set s to free need segments. The bool result is false if
-// even evicting everything would not suffice (need > segsPerSet).
+// even evicting everything would not suffice (need > segsPerSet). The
+// returned slice aliases per-array scratch storage and is valid only
+// until the next VictimPlan call on the same DataArray.
 func (d *DataArray) VictimPlan(s, need int) ([]int, bool) {
 	free := d.FreeSegs(s)
 	if free >= need {
@@ -166,20 +220,20 @@ func (d *DataArray) VictimPlan(s, need int) ([]int, bool) {
 	set := &d.sets[s]
 	// Largest-first minimizes the number of entries (and thus tags)
 	// evicted, the objective of the §5.4.3 data replacement policy.
-	type cand struct{ idx, segs int }
-	var cands []cand
+	cands := d.candScratch[:0]
 	for i := range set.slots {
 		if st := set.slots[i].state; st == SlotValidRaw || st == SlotValidDiff {
-			cands = append(cands, cand{i, set.slots[i].segs})
+			cands = append(cands, victimCand{i, set.slots[i].segs})
 		}
 	}
+	d.candScratch = cands[:0]
 	// Insertion sort by segs descending (sets are tiny).
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].segs > cands[j-1].segs; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]
 		}
 	}
-	var plan []int
+	plan := d.planScratch[:0]
 	for _, c := range cands {
 		if free >= need {
 			break
@@ -187,6 +241,7 @@ func (d *DataArray) VictimPlan(s, need int) ([]int, bool) {
 		plan = append(plan, c.idx)
 		free += c.segs
 	}
+	d.planScratch = plan[:0]
 	if free < need {
 		return nil, false
 	}

@@ -8,16 +8,16 @@ import (
 	"repro/internal/xrand"
 )
 
-func rawEnc(fill byte) diffenc.Encoded {
+func rawEnc(fill byte) *diffenc.Encoded {
 	var l line.Line
 	for i := range l {
 		l[i] = fill
 	}
-	return diffenc.Encoded{Format: diffenc.FormatRaw, Raw: l}
+	return &diffenc.Encoded{Format: diffenc.FormatRaw, Raw: l}
 }
 
-func diffEnc(n int) diffenc.Encoded {
-	e := diffenc.Encoded{Format: diffenc.FormatBaseDiff, Deltas: make([]byte, n)}
+func diffEnc(n int) *diffenc.Encoded {
+	e := &diffenc.Encoded{Format: diffenc.FormatBaseDiff, Deltas: make([]byte, n)}
 	for i := 0; i < n; i++ {
 		e.Mask |= 1 << uint(i)
 		e.Deltas[i] = byte(i)
@@ -118,7 +118,7 @@ func TestDataArrayRandomizedInvariants(t *testing.T) {
 	for step := 0; step < 20000; step++ {
 		if rng.Bool(0.6) || len(entries) == 0 {
 			set := rng.Intn(8)
-			var enc diffenc.Encoded
+			var enc *diffenc.Encoded
 			if rng.Bool(0.3) {
 				enc = rawEnc(byte(step))
 			} else {

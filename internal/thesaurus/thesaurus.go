@@ -129,6 +129,10 @@ type tagPayload struct {
 	fp      lsh.Fingerprint
 	setPtr  int32 // -1 when the entry has no data-array footprint
 	slotIdx int32
+	// fpValid records that fp was computed for the entry's current
+	// content, letting write hits that re-store identical bytes skip the
+	// LSH projection (the hardware would equally see an unchanged line).
+	fpValid bool
 }
 
 // hasData reports whether the tag owns a data-array entry.
@@ -205,6 +209,15 @@ type Cache struct {
 	stats      llc.Stats
 	extra      ExtraStats
 	diffSeries *stats.Series
+
+	// encScratch is the per-cache scratch encoding the placement path
+	// (place → placeUnclustered → allocData) encodes into before the data
+	// array copies it into slot-owned storage. One arena per Cache keeps
+	// the steady-state access loop allocation-free; ownership rules are in
+	// docs/performance.md. Cache is not safe for concurrent use (it never
+	// was: stats and rng are unguarded), so a single scratch suffices —
+	// parallel campaigns build one Cache per worker.
+	encScratch diffenc.Encoded
 
 	adaptive      adaptiveState
 	adaptiveStats AdaptiveStats
@@ -298,8 +311,15 @@ func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	if e, idx := c.tags.Lookup(addr); e != nil {
 		c.stats.WriteHits++
 		c.observeAccess(true)
+		// Re-writes of unchanged content keep the same fingerprint; skip
+		// the LSH projection in that case (the rest of the data path runs
+		// identically, so every statistic is unchanged).
+		fp, haveFP := e.Payload.fp, e.Payload.fpValid
+		if haveFP && c.decodeEntry(e) != data {
+			haveFP = false
+		}
 		c.dropPayload(e)
-		c.place(e, idx, data, true)
+		c.place(e, idx, data, true, fp, haveFP)
 		c.extra.Reencodes++
 		return true
 	}
@@ -315,7 +335,7 @@ func (c *Cache) install(addr line.Addr, data line.Line, dirty bool) {
 	if had {
 		c.retire(evicted)
 	}
-	c.place(e, idx, data, dirty)
+	c.place(e, idx, data, dirty, 0, false)
 	c.extra.Insertions++
 }
 
@@ -359,11 +379,19 @@ func (c *Cache) releaseBase(p tagPayload) {
 
 // place runs the insertion data path (Fig. 12 b+c) for a valid tag entry
 // with an empty payload, encoding data and allocating data-array space.
-func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool) {
+// fpHint/haveFP carry a memoized fingerprint from the write-hit path when
+// the re-written content is unchanged; placeLine does the work and place
+// accounts the final format (the split replaces a deferred closure that
+// cost an allocation-free but measurable defer on every placement).
+func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool, fpHint lsh.Fingerprint, haveFP bool) {
+	c.placeLine(e, tagIdx, data, dirty, fpHint, haveFP)
+	c.extra.ByFormat[e.Payload.fmt]++
+}
+
+func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool, fpHint lsh.Fingerprint, haveFP bool) {
 	e.Dirty = dirty
 	e.Payload = tagPayload{setPtr: -1, slotIdx: -1}
 	c.extra.Placements++
-	defer func() { c.extra.ByFormat[e.Payload.fmt]++ }()
 
 	// All-zero lines are identified in the tag alone (detected by a
 	// comparator even when the adaptive detector has compression off).
@@ -378,12 +406,17 @@ func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, di
 	if c.compressionDisabled() {
 		e.Payload.fmt = diffenc.FormatRaw
 		c.adaptiveStats.DisabledPlacements++
-		c.allocData(e, tagIdx, diffenc.Encoded{Format: diffenc.FormatRaw, Raw: data})
+		c.encScratch.SetRaw(&data)
+		c.allocData(e, tagIdx, &c.encScratch)
 		return
 	}
 
-	fp := c.hasher.Fingerprint(&data)
+	fp := fpHint
+	if !haveFP {
+		fp = c.hasher.Fingerprint(&data)
+	}
 	e.Payload.fp = fp
+	e.Payload.fpValid = true
 	ent := c.table.entry(fp)
 
 	// Fig. 15 accounting: would this line compress against the
@@ -418,7 +451,8 @@ func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, di
 		return
 	}
 
-	enc := diffenc.Encode(&data, &ent.Base)
+	enc := &c.encScratch
+	diffenc.EncodeInto(enc, &data, &ent.Base)
 	switch enc.Format {
 	case diffenc.FormatBaseOnly:
 		e.Payload.fmt = enc.Format
@@ -447,20 +481,23 @@ func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, di
 // compressed with BΔI if that helps.
 func (c *Cache) placeUnclustered(e *cache.Entry[tagPayload], tagIdx int, data line.Line) {
 	if c.cfg.IntraLineFallback {
-		if intra := bdi.Compress(&data); intra.Compressed() {
+		if size, ok := bdi.CompressedSize(&data); ok {
 			e.Payload.fmt = diffenc.FormatIntra
-			c.allocData(e, tagIdx, diffenc.NewIntra(data, intra.SizeBytes()))
+			c.encScratch.SetIntra(&data, size)
+			c.allocData(e, tagIdx, &c.encScratch)
 			return
 		}
 	}
 	e.Payload.fmt = diffenc.FormatRaw
-	c.allocData(e, tagIdx, diffenc.Encoded{Format: diffenc.FormatRaw, Raw: data})
+	c.encScratch.SetRaw(&data)
+	c.allocData(e, tagIdx, &c.encScratch)
 }
 
 // allocData finds data-array space for enc using the best-of-n victim
 // policy (§5.4.3), evicting entries (and their tags) as needed, and wires
-// the tag's setptr/segix.
-func (c *Cache) allocData(e *cache.Entry[tagPayload], tagIdx int, enc diffenc.Encoded) {
+// the tag's setptr/segix. enc is typically the cache's scratch encoding;
+// Insert deep-copies it into slot-owned storage.
+func (c *Cache) allocData(e *cache.Entry[tagPayload], tagIdx int, enc *diffenc.Encoded) {
 	need := enc.Segments()
 	set := c.chooseVictimSet(need)
 	plan, ok := c.data.VictimPlan(set, need)
@@ -522,7 +559,9 @@ func (c *Cache) decode(e *cache.Entry[tagPayload]) line.Line {
 }
 
 // decodeEntry reconstructs the line without base-cache accounting (used
-// for writebacks, which the paper services off the critical path).
+// for writebacks, which the paper services off the critical path). The
+// data-array entry is decoded in place by pointer — no Encoded value (and
+// no delta buffer) is copied on the read path.
 func (c *Cache) decodeEntry(e *cache.Entry[tagPayload]) line.Line {
 	p := e.Payload
 	var base *line.Line
@@ -533,15 +572,14 @@ func (c *Cache) decodeEntry(e *cache.Entry[tagPayload]) line.Line {
 		}
 		base = &ent.Base
 	}
-	var enc diffenc.Encoded
 	switch p.fmt {
-	case diffenc.FormatAllZero, diffenc.FormatBaseOnly:
-		enc = diffenc.Encoded{Format: p.fmt}
-	default:
-		enc = *c.data.Get(int(p.setPtr), int(p.slotIdx))
+	case diffenc.FormatAllZero:
+		return line.Zero
+	case diffenc.FormatBaseOnly:
+		return *base
 	}
-	out, err := diffenc.Decode(enc, base)
-	if err != nil {
+	var out line.Line
+	if err := diffenc.DecodeInto(&out, c.data.Get(int(p.setPtr), int(p.slotIdx)), base); err != nil {
 		panic(err)
 	}
 	return out
@@ -600,8 +638,11 @@ func (c *Cache) CheckInvariants() error {
 	if err != nil {
 		return err
 	}
-	// Base refcounts equal the number of referencing tags.
-	refs := make(map[lsh.Fingerprint]uint32)
+	// Base refcounts equal the number of referencing tags. Pre-size the
+	// rebuild map to the resident-line count: an upper bound on the number
+	// of distinct referencing fingerprints, avoiding rehash churn on every
+	// invariant check.
+	refs := make(map[lsh.Fingerprint]uint32, c.tags.CountValid())
 	c.tags.ForEach(func(_ int, te *cache.Entry[tagPayload]) {
 		if te.Payload.refsBase() {
 			refs[te.Payload.fp]++

@@ -41,6 +41,17 @@ type Source interface {
 	Next(a *Access) bool
 }
 
+// BatchSource is an optional extension of Source. Consumers that process
+// many accesses (the simulation drivers) can pull them a batch at a time,
+// amortizing the per-access interface call; producers must emit exactly
+// the sequence repeated Next calls would.
+type BatchSource interface {
+	Source
+	// FillBatch fills dst with the next accesses and returns how many were
+	// produced; fewer than len(dst) (including 0) means the trace ended.
+	FillBatch(dst []Access) int
+}
+
 // SliceSource replays a fixed slice of accesses.
 type SliceSource struct {
 	accesses []Access
@@ -62,6 +73,14 @@ func (s *SliceSource) Next(a *Access) bool {
 	return true
 }
 
+// FillBatch implements BatchSource by copying directly from the backing
+// slice.
+func (s *SliceSource) FillBatch(dst []Access) int {
+	n := copy(dst, s.accesses[s.pos:])
+	s.pos += n
+	return n
+}
+
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
 
@@ -69,6 +88,9 @@ func (s *SliceSource) Reset() { s.pos = 0 }
 // drain everything).
 func Collect(src Source, max int) []Access {
 	var out []Access
+	if max > 0 {
+		out = make([]Access, 0, max)
+	}
 	var a Access
 	for (max <= 0 || len(out) < max) && src.Next(&a) {
 		out = append(out, a)

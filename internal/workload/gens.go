@@ -32,10 +32,12 @@ type LineGen interface {
 	Line(i int, version uint32) line.Line
 }
 
-// lineRNG derives a deterministic per-(line, version) generator.
-func lineRNG(seed uint64, i int, version uint32) *xrand.Rand {
+// lineRNG derives a deterministic per-(line, version) generator. It
+// returns the generator by value so the per-line RNG of every generated
+// line lives on the caller's stack instead of the heap.
+func lineRNG(seed uint64, i int, version uint32) xrand.Rand {
 	sm := xrand.NewSplitMix64(seed ^ uint64(i)*0x9e3779b97f4a7c15 ^ uint64(version)<<40)
-	return xrand.New(sm.Next())
+	return xrand.Seeded(sm.Next())
 }
 
 // FieldKind describes one record field's value behaviour.
@@ -202,10 +204,13 @@ func writeField(dst []byte, f Field, rng *xrand.Rand, full bool) {
 	}
 }
 
-// record materializes record r at the given version.
-func (g *RecordsGen) record(r int, version uint32) []byte {
+// record materializes record r at the given version into dst's backing
+// storage (growing it only when the record exceeds dst's capacity) and
+// returns the filled slice. Callers pass a stack scratch buffer so
+// steady-state line generation never touches the heap.
+func (g *RecordsGen) record(dst []byte, r int, version uint32) []byte {
 	proto := g.protos[(r/g.ProtoRun)%len(g.protos)]
-	buf := append([]byte(nil), proto...)
+	buf := append(dst[:0], proto...)
 	rng := lineRNG(g.rngSeed^0x7ec0, r, version)
 	off := 0
 	for _, f := range g.Fields {
@@ -226,22 +231,32 @@ func (g *RecordsGen) record(r int, version uint32) []byte {
 				buf[off+i] = byte(rng.Uint32())
 			}
 		case f.MutProb > 0 && rng.Bool(f.MutProb):
-			writeField(buf[off:off+f.Width], f, rng, false)
+			writeField(buf[off:off+f.Width], f, &rng, false)
 		}
 		off += f.Width
 	}
 	return buf
 }
 
+// recordScratchSize bounds the stack scratch for record assembly; every
+// profile's RecordSize is far below this (the paper's examples are
+// 64-136 bytes). Larger records fall back to a heap buffer.
+const recordScratchSize = 256
+
 // Line implements LineGen by assembling the records overlapping line i.
 func (g *RecordsGen) Line(i int, version uint32) line.Line {
 	var l line.Line
+	var scratch [recordScratchSize]byte
+	buf := scratch[:0]
+	if g.RecordSize > recordScratchSize {
+		buf = make([]byte, 0, g.RecordSize)
+	}
 	start := i * line.Size
 	for off := 0; off < line.Size; {
 		pos := start + off
 		r := pos / g.RecordSize
 		inRec := pos % g.RecordSize
-		rec := g.record(r, version)
+		rec := g.record(buf, r, version)
 		n := copy(l[off:], rec[inRec:])
 		off += n
 	}
@@ -393,7 +408,8 @@ func NewMixGen(seed uint64, gens []LineGen, weights []float64) *MixGen {
 
 // Line implements LineGen.
 func (m *MixGen) Line(i int, version uint32) line.Line {
-	u := xrand.New(m.seed ^ uint64(i)*0x9e3779b97f4a7c15).Float64()
+	rng := xrand.Seeded(m.seed ^ uint64(i)*0x9e3779b97f4a7c15)
+	u := rng.Float64()
 	for k, c := range m.cum {
 		if u <= c {
 			return m.gens[k].Line(i, version)

@@ -52,10 +52,11 @@ type regionState struct {
 	spec    RegionSpec
 	base    line.Addr
 	cursor  int
-	version map[int]uint32 // per-line write versions (sparse)
+	version []uint32 // per-line write versions, indexed by line
 }
 
-// Stream generates a profile's access trace; it implements trace.Source.
+// Stream generates a profile's access trace; it implements trace.Source
+// and trace.BatchSource.
 type Stream struct {
 	regions []*regionState
 	pat     PatternSpec
@@ -63,6 +64,15 @@ type Stream struct {
 	count   int
 	limit   int
 	img     *memory.Store
+
+	// Cached per-region effective weights for the current active phase
+	// group. Region weights only change when the active group rotates
+	// (every PhaseEvery accesses), so pickRegion reuses the sums instead
+	// of recomputing them per access. weightsFor is the active group the
+	// cache was built for (-2 = never built).
+	weights    []float64
+	weightSum  float64
+	weightsFor int
 }
 
 // regionGap separates region base addresses so set-index bits differ.
@@ -71,13 +81,13 @@ const regionGap = 1 << 30
 // newStream lays out regions, populates img with their initial contents,
 // and returns a source producing limit accesses.
 func newStream(seed uint64, regions []RegionSpec, pat PatternSpec, limit int, img *memory.Store) *Stream {
-	s := &Stream{pat: pat, rng: xrand.New(seed), limit: limit, img: img}
+	s := &Stream{pat: pat, rng: xrand.New(seed), limit: limit, img: img, weightsFor: -2}
 	base := line.Addr(1 << 33)
 	for _, spec := range regions {
 		if spec.Lines <= 0 || spec.Gen == nil {
 			panic(fmt.Sprintf("workload: bad region %q", spec.Name))
 		}
-		rs := &regionState{spec: spec, base: base, version: make(map[int]uint32)}
+		rs := &regionState{spec: spec, base: base, version: make([]uint32, spec.Lines)}
 		for i := 0; i < spec.Lines; i++ {
 			img.Poke(rs.addr(i), spec.Gen.Line(i, 0))
 		}
@@ -98,13 +108,22 @@ func (s *Stream) pickRegion() *regionState {
 	if s.pat.PhaseEvery > 0 && s.pat.PhaseGroups > 0 {
 		active = (s.count / s.pat.PhaseEvery) % s.pat.PhaseGroups
 	}
-	total := 0.0
-	for _, r := range s.regions {
-		total += s.effWeight(r, active)
+	if active != s.weightsFor {
+		// Rebuild the weight cache. The sum accumulates in region order,
+		// exactly as the uncached loop did, so the float rounding — and
+		// therefore the region sequence — is bit-identical.
+		s.weights = s.weights[:0]
+		s.weightSum = 0
+		for _, r := range s.regions {
+			w := s.effWeight(r, active)
+			s.weights = append(s.weights, w)
+			s.weightSum += w
+		}
+		s.weightsFor = active
 	}
-	x := s.rng.Float64() * total
-	for _, r := range s.regions {
-		x -= s.effWeight(r, active)
+	x := s.rng.Float64() * s.weightSum
+	for k, r := range s.regions {
+		x -= s.weights[k]
 		if x <= 0 {
 			return r
 		}
@@ -165,6 +184,18 @@ func (s *Stream) Next(a *trace.Access) bool {
 		a.Write = false
 	}
 	return true
+}
+
+// FillBatch implements trace.BatchSource: it fills dst with the next
+// accesses and returns how many were produced. The access sequence is
+// identical to repeated Next calls; batching only saves the per-access
+// interface-call round trip on the replay side.
+func (s *Stream) FillBatch(dst []trace.Access) int {
+	n := 0
+	for n < len(dst) && s.Next(&dst[n]) {
+		n++
+	}
+	return n
 }
 
 // Generated bundles a populated image with its access stream.

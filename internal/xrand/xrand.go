@@ -39,7 +39,15 @@ type Rand struct {
 // New returns a Rand seeded from seed via SplitMix64, as recommended by
 // the xoshiro authors.
 func New(seed uint64) *Rand {
-	sm := NewSplitMix64(seed)
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded is New returning the generator by value: the identical stream,
+// but stack-allocatable. Hot paths that derive a short-lived generator
+// per item (the workload line generators) use this to stay off the heap.
+func Seeded(seed uint64) Rand {
+	sm := SplitMix64{state: seed}
 	var r Rand
 	for i := range r.s {
 		r.s[i] = sm.Next()
@@ -49,7 +57,7 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+	return r
 }
 
 // Split derives a new, statistically independent generator from r.
