@@ -21,7 +21,8 @@ fmtcheck:
 # (docs/determinism.md): no wall-clock/env/math-rand inputs in
 # simulation packages, no map iteration feeding ordered output, no
 # shared-state mutation from worker goroutines, config-derived PRNG
-# seeds, no order-dependent float reductions. Audited exceptions live
+# seeds, no order-dependent float reductions, and no reads of a released
+# resource (docs/performance.md, releaseuse). Audited exceptions live
 # in lint.allow.
 lint:
 	$(GO) run ./cmd/thesauruslint ./...
@@ -35,8 +36,9 @@ test:
 # The worker pools live in harness (RunMatrix, ParMap) and are driven by
 # the experiments package; -race over their tests catches data races in
 # the parallel campaign paths — including the per-worker scratch arenas
-# the Thesaurus/BΔI caches carry (docs/performance.md). Short trace
-# lengths keep this a smoke pass, not a full campaign.
+# the Thesaurus/BΔI caches carry, the singleflight run coalescing, and
+# the pooled base-table release lifecycle (docs/performance.md). Short
+# trace lengths keep this a smoke pass, not a full campaign.
 race:
 	$(GO) test -race -count=1 ./internal/harness ./internal/experiments ./internal/thesaurus
 

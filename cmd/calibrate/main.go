@@ -46,17 +46,17 @@ func main() {
 			p, len(rec.Events), rec.Instructions, rec.LLCAPKI(), time.Since(t0).Seconds())
 		for _, d := range ds {
 			t1 := time.Now()
-			res, c, err := harness.RunDesign(p, d, opt)
+			res, snap, err := harness.RunDesign(p, d, opt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "run:", err)
 				os.Exit(1)
 			}
 			extra := ""
-			if th, ok := c.(*thesaurus.Cache); ok {
-				e := th.Extra()
-				live, valid := th.BaseTable().ActiveClusters()
+			if ts, ok := snap.Extra.(*thesaurus.Snapshot); ok {
+				e := ts.Extra
 				extra = fmt.Sprintf("  comp%%=%.1f diff=%.1fB bcache=%.3f fmt[raw,b+d,0+d,base,z]=%v fps=%d/%d",
-					100*e.CompressibleFraction(), e.AvgDiffBytes(), th.BaseCache().HitRate(), e.ByFormat, live, valid)
+					100*e.CompressibleFraction(), e.AvgDiffBytes(), ts.BaseCache.HitRate(), e.ByFormat,
+					ts.LiveClusters, ts.ValidClusters)
 			}
 			fmt.Printf("  %-12s CR=%5.2f occ=%.3f MPKI=%7.3f IPC=%.3f hit=%8d miss=%8d (%4.1fs)%s\n",
 				d, res.CompressionRatio, res.Occupancy, res.MPKI, res.IPC,

@@ -175,6 +175,28 @@ func runBenchJSON(path string) error {
 		}
 	})
 
+	// --- construction and release lifecycle ---
+	// Sweeps and ablations build one cache per configuration point; with
+	// the release lifecycle the base table comes back from the per-size
+	// pool, so steady-state construction is an epoch bump instead of a
+	// multi-megabyte make-and-zero.
+	add("thesaurus_new_release", 0, func(b *testing.B) {
+		cfg := thesaurus.DefaultConfig()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := thesaurus.MustNew(cfg, memory.NewStore())
+			c.Release()
+		}
+	})
+	add("basetable_pooled_cycle_2p20", 0, func(b *testing.B) {
+		mem := memory.NewStore()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			t := thesaurus.NewBaseTable(20, mem)
+			t.Release()
+		}
+	})
+
 	doc := benchDoc{
 		Schema:     benchSchema,
 		GoVersion:  runtime.Version(),

@@ -269,6 +269,38 @@ func (c *Cache) Footprint() llc.Footprint {
 	}
 }
 
+// Snapshot is the BΔI-specific release snapshot (the Fig. 17-adjacent
+// encoding-mix counters).
+type Snapshot struct {
+	Extra ExtraStats
+}
+
+// Clone implements llc.ExtraSnapshot, deep-copying the ByKind histogram.
+func (s *Snapshot) Clone() llc.ExtraSnapshot {
+	cp := &Snapshot{Extra: s.Extra}
+	if s.Extra.ByKind != nil {
+		cp.Extra.ByKind = make(map[bdi.Kind]uint64, len(s.Extra.ByKind))
+		for k, v := range s.Extra.ByKind {
+			cp.Extra.ByKind[k] = v
+		}
+	}
+	return cp
+}
+
+// Release implements llc.Cache: it extracts the statistics snapshot and
+// frees the tag array and the recycled delta buffers. The cache must not
+// be used afterwards.
+func (c *Cache) Release() llc.StatsSnapshot {
+	if c.tags == nil {
+		panic("bdicache: Release called twice")
+	}
+	snap := (&Snapshot{Extra: c.extra}).Clone()
+	c.tags = nil
+	c.usedSegs = nil
+	c.deltaPool = nil
+	return llc.StatsSnapshot{Design: c.Name(), Stats: c.stats, Extra: snap}
+}
+
 // CheckInvariants validates the per-set segment accounting.
 func (c *Cache) CheckInvariants() error {
 	sums := make([]int, c.cfg.Sets)

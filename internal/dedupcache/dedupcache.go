@@ -368,6 +368,32 @@ func (c *Cache) Footprint() llc.Footprint {
 	}
 }
 
+// Snapshot is the Dedup-specific release snapshot.
+type Snapshot struct {
+	Extra ExtraStats
+}
+
+// Clone implements llc.ExtraSnapshot (ExtraStats is a pure value type,
+// so a shallow copy is a deep copy).
+func (s *Snapshot) Clone() llc.ExtraSnapshot {
+	cp := *s
+	return &cp
+}
+
+// Release implements llc.Cache: it extracts the statistics snapshot and
+// frees the tag, data, and hash arrays. The cache must not be used
+// afterwards.
+func (c *Cache) Release() llc.StatsSnapshot {
+	if c.tags == nil {
+		panic("dedupcache: Release called twice")
+	}
+	c.tags = nil
+	c.data = nil
+	c.free = nil
+	c.table = nil
+	return llc.StatsSnapshot{Design: c.Name(), Stats: c.stats, Extra: &Snapshot{Extra: c.extra}}
+}
+
 // CheckInvariants validates refcounts and list structure; used by tests.
 // (The access path itself allocates only at construction: the hash chain
 // and free list are fixed-capacity, so no scratch arena is needed here.)

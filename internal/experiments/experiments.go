@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/cluster"
@@ -59,28 +58,19 @@ func (o Options) run() harness.RunOptions {
 }
 
 // snapshot returns the resident lines of a conventional-LLC simulation of
-// the profile: the "LLC snapshot" the motivation experiments analyze.
+// the profile: the "LLC snapshot" the motivation experiments analyze. The
+// lines come from the released cache's snapshot, already in ascending
+// address order.
 func snapshot(profile string, opt Options) ([]line.Line, error) {
 	out, err := harness.Run(profile, "Baseline", opt.run())
 	if err != nil {
 		return nil, err
 	}
-	conv, ok := out.Cache.(*uncomp.Cache)
+	conv, ok := out.Snap.Extra.(*uncomp.Snapshot)
 	if !ok {
-		return nil, fmt.Errorf("experiments: baseline cache has unexpected type %T", out.Cache)
+		return nil, fmt.Errorf("experiments: baseline snapshot has unexpected type %T", out.Snap.Extra)
 	}
-	contents := conv.Contents()
-	// Deterministic order: sort by address.
-	addrs := make([]line.Addr, 0, len(contents))
-	for a := range contents {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	lines := make([]line.Line, len(addrs))
-	for i, a := range addrs {
-		lines[i] = contents[a]
-	}
-	return lines, nil
+	return conv.Lines, nil
 }
 
 // Fig1Row is one benchmark of Figure 1: effective LLC capacity under the

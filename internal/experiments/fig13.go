@@ -130,16 +130,16 @@ func Fig13(opt Options) (*Fig13Result, error) {
 				ipcNS = append(ipcNS, cell.NormIPC)
 			}
 
-			if th, ok := out.Cache.(*thesaurus.Cache); ok {
-				extra := th.Extra()
+			if ts, ok := out.Snap.Extra.(*thesaurus.Snapshot); ok {
+				extra := ts.Extra
 				tp := &ThesaurusProfile{
 					Compressible: extra.CompressibleFraction(),
 					ClusterFracs: out.ClusterFracs,
 					AvgDiffBytes: extra.AvgDiffBytes(),
-					DiffSeries:   th.DiffSeries(),
-					BaseCacheHit: th.BaseCache().HitRate(),
+					DiffSeries:   ts.DiffSeries,
+					BaseCacheHit: ts.BaseCache.HitRate(),
 				}
-				tp.BaseCacheCost = th.BaseCache().StorageBytes()
+				tp.BaseCacheCost = ts.BaseCache.StorageBytes
 				for f := diffenc.FormatRaw; f < diffenc.NumFormats; f++ {
 					tp.FormatFracs[f] = extra.FormatFraction(f)
 				}

@@ -253,11 +253,14 @@ func Fig20(opt Options) (*Fig20Result, error) {
 			if err != nil {
 				return cell{}, err
 			}
-			th := out.Cache.(*thesaurus.Cache)
+			ts, ok := out.Snap.Extra.(*thesaurus.Snapshot)
+			if !ok {
+				return cell{}, fmt.Errorf("fig20: thesaurus snapshot has unexpected type %T", out.Snap.Extra)
+			}
 			return cell{
-				hitRate:   th.BaseCache().HitRate(),
+				hitRate:   ts.BaseCache.HitRate(),
 				cr:        out.Res.CompressionRatio,
-				storageKB: float64(th.BaseCache().StorageBytes()) / 1024,
+				storageKB: float64(ts.BaseCache.StorageBytes) / 1024,
 			}, nil
 		})
 		if err != nil {

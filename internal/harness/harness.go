@@ -59,23 +59,68 @@ const DefaultAccesses = 2_000_000
 // recordedCache memoizes the L1/L2-filtered event stream per (profile,
 // accesses): it is identical for every design, so computing it once per
 // benchmark removes the dominant cost of multi-design experiments.
-var recordedCache sync.Map // key string → *sim.Recorded
+var (
+	recordedCache sync.Map // key string → *sim.Recorded
+	recordFlights sync.Map // key string → *flight[*sim.Recorded]
+)
+
+// flight is one in-progress computation that concurrent callers of the
+// same memo key wait on instead of duplicating.
+type flight[T any] struct {
+	wg  sync.WaitGroup
+	val T
+	err error
+}
+
+// coalesce returns the memoized value for key, computing it via fn at
+// most once across all callers — concurrent or not. Racing goroutines
+// wait for the winner's result rather than each executing fn (the
+// RunMatrix workers all hit the same default-config key from every
+// sweep). The winner stores into memo before removing its flight, and a
+// fresh winner re-checks memo after claiming the flight slot, so fn runs
+// exactly once per key over the process lifetime. Errors are returned to
+// every waiter but never cached.
+func coalesce[T any](memo, flights *sync.Map, key string, fn func() (T, error)) (T, error) {
+	if v, ok := memo.Load(key); ok {
+		return v.(T), nil
+	}
+	f := &flight[T]{}
+	f.wg.Add(1)
+	if cur, loaded := flights.LoadOrStore(key, f); loaded {
+		cf := cur.(*flight[T])
+		cf.wg.Wait()
+		return cf.val, cf.err
+	}
+	// We own the flight. The result may have landed in memo between the
+	// miss above and the LoadOrStore (a previous winner stores before
+	// deleting its flight); re-check before doing the work.
+	if v, ok := memo.Load(key); ok {
+		f.val = v.(T)
+	} else {
+		f.val, f.err = fn()
+		if f.err == nil {
+			memo.Store(key, f.val)
+		}
+	}
+	flights.Delete(key)
+	f.wg.Done()
+	return f.val, f.err
+}
 
 // RecordProfile generates the named profile's trace and filters it
-// through the private cache levels, memoizing the result.
+// through the private cache levels, memoizing the result. Concurrent
+// calls for the same (profile, accesses) are coalesced into one
+// recording.
 func RecordProfile(name string, accesses int) (*sim.Recorded, error) {
 	key := fmt.Sprintf("%s/%d", name, accesses)
-	if v, ok := recordedCache.Load(key); ok {
-		return v.(*sim.Recorded), nil
-	}
-	p, err := workload.ProfileByName(name)
-	if err != nil {
-		return nil, err
-	}
-	gen := p.Generate(accesses)
-	rec := sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image)
-	recordedCache.Store(key, rec)
-	return rec, nil
+	return coalesce(&recordedCache, &recordFlights, key, func() (*sim.Recorded, error) {
+		p, err := workload.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen := p.Generate(accesses)
+		return sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image), nil
+	})
 }
 
 // RunOptions configures a design × benchmark run.
@@ -97,35 +142,79 @@ func DefaultRunOptions() RunOptions {
 }
 
 // RunOutput bundles a completed design × benchmark run: the metrics, the
-// cache instance (for design-specific statistics), and, for Thesaurus,
-// the time-averaged base-table cluster-size distribution (Fig. 16).
+// released cache's statistics snapshot (for design-specific statistics),
+// and, for Thesaurus, the time-averaged base-table cluster-size
+// distribution (Fig. 16). Every Run call returns its own deep copy, so a
+// caller may mutate its view without corrupting the memoized master or
+// other callers.
 type RunOutput struct {
 	Res          sim.Result
-	Cache        llc.Cache
+	Snap         llc.StatsSnapshot
 	ClusterFracs [4]float64
+}
+
+// clone returns a deep copy sharing no mutable state with o.
+func (o *RunOutput) clone() *RunOutput {
+	cp := *o
+	cp.Snap = o.Snap.Clone()
+	return &cp
 }
 
 // runCache memoizes completed runs so the per-figure experiments can
 // share them (the whole evaluation reuses one Thesaurus run per profile).
-var runCache sync.Map // key string → *RunOutput
+var (
+	runCache   sync.Map // key string → *RunOutput (the immutable master)
+	runFlights sync.Map // key string → *flight[*RunOutput]
+)
+
+// replays counts replay executions (not memo hits); the concurrency
+// regression tests assert on it.
+var replays atomic.Uint64
+
+// runKey canonically encodes everything that affects a memoized run's
+// result: profile, design, trace length, and each scalar replay option.
+// Workers is deliberately excluded (results are deterministic for any
+// worker count), and memoized runs always use the default Thesaurus
+// configuration, so neither needs encoding. A caller-provided OnSample
+// hook disables memoization instead of being encoded (it is a side
+// effect, not part of the result).
+func runKey(profile, design string, opt RunOptions) string {
+	r := opt.Replay
+	return fmt.Sprintf("%s/%s/n%d/w%g/s%d/v%t",
+		profile, design, opt.Accesses, r.WarmupFraction, r.SampleEvery, r.Verify)
+}
 
 // Run replays profile into design with memoization. Thesaurus runs also
 // collect the Fig. 16 cluster-size samples and the Fig. 19 diff series.
 func Run(profile, design string, opt RunOptions) (*RunOutput, error) {
 	// Custom-configuration runs (sweeps, ablations) are not memoized:
-	// at full scale they would pin hundreds of cache instances in memory
-	// for results that are read exactly once. The exception is a sweep
-	// point equal to the paper-default configuration — every ablation
-	// includes one — which shares the default design's memo entry (the
-	// config normalization below makes the runs identical), so a campaign
-	// pays for the default Thesaurus run once rather than per sweep.
-	memoize := opt.Thesaurus == nil || *opt.Thesaurus == thesaurus.DefaultConfig()
-	key := fmt.Sprintf("%s/%s/%d", profile, design, opt.Accesses)
-	if memoize {
-		if v, ok := runCache.Load(key); ok {
-			return v.(*RunOutput), nil
-		}
+	// at full scale they would pin hundreds of results in memory that are
+	// read exactly once. The exception is a sweep point equal to the
+	// paper-default configuration — every ablation includes one — which
+	// shares the default design's memo entry (the config normalization in
+	// runOnce makes the runs identical), so a campaign pays for the
+	// default Thesaurus run once rather than per sweep. A caller-provided
+	// OnSample hook also disables memoization: the hook must observe its
+	// own replay, and the memo key cannot encode a function.
+	memoize := (opt.Thesaurus == nil || *opt.Thesaurus == thesaurus.DefaultConfig()) &&
+		opt.Replay.OnSample == nil
+	if !memoize {
+		return runOnce(profile, design, opt, false)
 	}
+	out, err := coalesce(&runCache, &runFlights, runKey(profile, design, opt), func() (*RunOutput, error) {
+		return runOnce(profile, design, opt, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Hand each caller an isolated deep copy; the master in runCache stays
+	// immutable no matter what callers do with their view.
+	return out.clone(), nil
+}
+
+// runOnce executes one replay without consulting the memo. sample
+// enables the Fig. 16 cluster-size sampling (memoized default runs only).
+func runOnce(profile, design string, opt RunOptions, sample bool) (*RunOutput, error) {
 	rec, err := RecordProfile(profile, opt.Accesses)
 	if err != nil {
 		return nil, err
@@ -153,7 +242,7 @@ func Run(profile, design string, opt RunOptions) (*RunOutput, error) {
 	// The Fig. 16 cluster-size sampling walks the whole base table and
 	// costs a measurable slice of replay time; only the memoized default
 	// runs feed Fig. 16, so custom-configuration sweep runs skip it.
-	if th, ok := c.(*thesaurus.Cache); ok && memoize {
+	if th, ok := c.(*thesaurus.Cache); ok && sample {
 		samples, taken := 0, 0
 		var fracs [4]float64
 		ropt.OnSample = func(llc.Cache) {
@@ -170,32 +259,33 @@ func Run(profile, design string, opt RunOptions) (*RunOutput, error) {
 			samples++
 		}
 	}
+	replays.Add(1)
 	res, err := sim.Replay(c, rec, st, sim.DefaultSystem(), ropt)
 	if err != nil {
 		return nil, err
 	}
 	out.Res = res
-	out.Cache = c
-	// The backing store's content map is only needed during replay; the
-	// statistics the experiments read survive a release. This keeps long
-	// campaigns (one store per design × profile) within memory.
+	// End of the cache's life: extract the immutable statistics snapshot
+	// and free the bulk storage — the Thesaurus base table returns to the
+	// per-size pool for the next sweep configuration. Nothing may touch c
+	// after this point (thesauruslint's releaseuse analyzer checks).
+	out.Snap = c.Release()
+	// Likewise the backing store's content map is only needed during
+	// replay; the statistics the experiments read survive a release. This
+	// keeps long campaigns (one store per design × profile) within memory.
 	st.Release()
-	if memoize {
-		runCache.Store(key, out)
-	}
 	return out, nil
 }
 
 // RunDesign replays the named profile into the named design and returns
-// the metrics. The cache instance is also returned for design-specific
-// statistics (Figs. 15-20 read the Thesaurus extras). Results are
-// memoized via Run.
-func RunDesign(profile, design string, opt RunOptions) (sim.Result, llc.Cache, error) {
+// the metrics plus the released cache's statistics snapshot (Figs. 15-20
+// read the Thesaurus extras from it). Results are memoized via Run.
+func RunDesign(profile, design string, opt RunOptions) (sim.Result, llc.StatsSnapshot, error) {
 	out, err := Run(profile, design, opt)
 	if err != nil {
-		return sim.Result{}, nil, err
+		return sim.Result{}, llc.StatsSnapshot{}, err
 	}
-	return out.Res, out.Cache, nil
+	return out.Res, out.Snap, nil
 }
 
 // RunAll runs every design over one profile.
@@ -227,19 +317,10 @@ func RunMatrix(keys []RunKey, opt RunOptions) (map[RunKey]*RunOutput, error) {
 		out *RunOutput
 		err error
 	}
-	// Pre-record every distinct profile serially: recording is memoized
-	// but not deduplicated under concurrency, and it is the single
-	// biggest allocation; doing it once up front avoids duplicate work.
-	seen := map[string]bool{}
-	for _, k := range keys {
-		if !seen[k.Profile] {
-			seen[k.Profile] = true
-			if _, err := RecordProfile(k.Profile, opt.Accesses); err != nil {
-				return nil, err
-			}
-		}
-	}
-
+	// No pre-recording pass is needed: RecordProfile coalesces concurrent
+	// recordings of the same profile, so workers that race into one
+	// profile share a single recording while distinct profiles record in
+	// parallel.
 	workers := clampWorkers(opt.Workers, len(keys))
 	in := make(chan RunKey)
 	results := make(chan job, len(keys))

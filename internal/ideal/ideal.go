@@ -375,3 +375,15 @@ func (c *Cache) Footprint() llc.Footprint {
 		DataBytesTotal: c.cfg.DataBytes,
 	}
 }
+
+// Release implements llc.Cache: the ideal model keeps no post-run extras,
+// so the snapshot carries only the common statistics. The tag array and
+// the candidate index are freed; the cache must not be used afterwards.
+func (c *Cache) Release() llc.StatsSnapshot {
+	if c.tags == nil {
+		panic("ideal: Release called twice")
+	}
+	c.tags = nil
+	c.idx = nil
+	return llc.StatsSnapshot{Design: c.Name(), Stats: c.stats}
+}

@@ -5,7 +5,9 @@
 // the silent-nondeterminism bug classes (wall-clock reads, unordered
 // map iteration feeding ordered output, shared-state mutation from
 // worker goroutines, ad-hoc random seeds, float reduction order) before
-// they can skew a figure.
+// they can skew a figure. The suite also enforces the resource release
+// lifecycle (docs/performance.md): once a cache or store is Released,
+// only its returned snapshot may be read.
 //
 // The suite is built only on the standard library (go/parser, go/ast,
 // go/types with the source importer); there is no dependency on
@@ -87,6 +89,7 @@ func Analyzers() []*Analyzer {
 		ParMapDiscipline,
 		XRandSeed,
 		FloatOrder,
+		ReleaseUse,
 	}
 }
 

@@ -40,6 +40,17 @@ func parMap(n int, f func(int)) {
 	wg.Wait()
 }
 
+type table struct{ rows int }
+
+func (t *table) Release() int { return t.rows }
+
+// The sanctioned lifecycle: read everything first, release last, and
+// keep only the returned snapshot.
+func drain(t *table) int {
+	rows := t.rows
+	return rows + t.Release()
+}
+
 // Workers write disjoint slots; the reduce is serial and index-ordered.
 func sum(cfg Config, n int) float64 {
 	parts := make([]float64, n)

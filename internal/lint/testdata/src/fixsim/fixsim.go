@@ -155,6 +155,43 @@ func parallelSum(xs []float64) float64 {
 	return sum
 }
 
+// resource mirrors the repo's release lifecycle: Release() returns the
+// final statistics and frees the bulk storage.
+type resource struct{ n int }
+
+func (r *resource) Release() int { return r.n }
+
+// Reading a released resource (releaseuse).
+func useAfterRelease(r *resource) int {
+	total := r.Release()
+	return total + r.n
+}
+
+// A second Release is itself a use of the released resource (releaseuse).
+func doubleRelease(r *resource) int {
+	r.Release()
+	return r.Release()
+}
+
+// Snapshot-then-release — every read before the release — is clean.
+func releaseLast(r *resource) int {
+	n := r.n
+	return n + r.Release()
+}
+
+// Reassignment starts a fresh lifecycle (clean).
+func recycled(r *resource) int {
+	r.Release()
+	r = &resource{n: 1}
+	return r.n
+}
+
+// A deferred release runs at function exit, after every use (clean).
+func deferredRelease(r *resource) int {
+	defer r.Release()
+	return r.n
+}
+
 // Per-slot accumulation with a serial reduce is clean.
 func indexedSum(xs []float64) float64 {
 	parts := make([]float64, len(xs))

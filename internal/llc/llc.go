@@ -24,6 +24,47 @@ type Cache interface {
 	ResetStats()
 	// Footprint samples the current storage occupancy (Fig. 13a metric).
 	Footprint() Footprint
+	// Release ends the cache's life: it extracts an immutable statistics
+	// snapshot and frees the bulk storage (data arrays, delta pools, base
+	// tables — which may return to allocation pools for reuse). After
+	// Release only the returned snapshot may be consulted; any other use
+	// of the cache is a bug (a second Release panics, and thesauruslint's
+	// releaseuse analyzer flags post-release reads statically).
+	Release() StatsSnapshot
+}
+
+// StatsSnapshot is the immutable record of a released cache: everything
+// the experiment and report layers may consult once the cache's storage
+// is gone. The common Stats are embedded by value; design-specific
+// statistics (encoding mixes, base-cache counters, resident-line dumps)
+// ride in Extra as a design-owned snapshot type.
+type StatsSnapshot struct {
+	// Design is the cache's report name, as Name() returned it.
+	Design string
+	// Stats are the accumulated access statistics at release time.
+	Stats Stats
+	// Extra holds the design-specific snapshot, or nil if the design has
+	// none. Callers type-assert to the design's exported snapshot type
+	// (e.g. *thesaurus.Snapshot).
+	Extra ExtraSnapshot
+}
+
+// ExtraSnapshot is a design-specific statistics snapshot. Implementations
+// must be deep-copyable so memoized results can hand every caller an
+// isolated view.
+type ExtraSnapshot interface {
+	// Clone returns a deep copy sharing no mutable state with the
+	// receiver.
+	Clone() ExtraSnapshot
+}
+
+// Clone returns a deep copy of the snapshot (Extra included).
+func (s StatsSnapshot) Clone() StatsSnapshot {
+	cp := s
+	if s.Extra != nil {
+		cp.Extra = s.Extra.Clone()
+	}
+	return cp
 }
 
 // Stats counts LLC-level events common to all designs.

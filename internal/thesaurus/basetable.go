@@ -1,6 +1,8 @@
 package thesaurus
 
 import (
+	"sync"
+
 	"repro/internal/line"
 	"repro/internal/lsh"
 	"repro/internal/memory"
@@ -10,9 +12,15 @@ import (
 
 // BaseEntry is one base-table record (§5.2.3, Fig. 9 bottom-right): the
 // clusteroid line for an LSH fingerprint plus a counter of how many
-// resident cache entries currently reference it.
+// resident cache entries currently reference it. Validity is an epoch
+// stamp rather than a bool: an entry is valid iff its stamp equals the
+// owning table's current epoch, so a recycled table invalidates its
+// whole slab with one counter increment instead of re-zeroing it (see
+// BaseTable.Reset). Sites that stamp an entry valid must also write
+// Base and Cntr — a stale entry's payload is garbage from a previous
+// table life.
 type BaseEntry struct {
-	Valid bool
+	epoch uint32
 	Base  line.Line
 	Cntr  uint32
 }
@@ -22,13 +30,65 @@ type BaseEntry struct {
 // cache are charged as DRAM traffic on the backing store.
 type BaseTable struct {
 	entries []BaseEntry
-	mem     *memory.Store
+	// epoch is the current validity stamp; entry.epoch == epoch means
+	// valid. Zero is reserved for never-written entries (the zero value
+	// of a fresh slab), so a live table's epoch is always ≥ 1.
+	epoch uint32
+	mem   *memory.Store
 }
 
-// NewBaseTable allocates a table with 2^bits entries over mem.
+// tablePools recycles released tables by entry count. Ablation sweeps
+// construct one table per configuration, and at 2^20+ entries the
+// make-and-zero of a fresh slab is a measurable slice of campaign time;
+// reusing a pooled slab makes NewBaseTable O(1) (one epoch bump, no
+// zeroing).
+var tablePools sync.Map // entry count (int) → *sync.Pool of *BaseTable
+
+// NewBaseTable returns a table with 2^bits entries over mem, reusing a
+// pooled slab of the same size when one is available. A recycled table
+// is observationally identical to a fresh one: Reset invalidates every
+// entry before it is handed out.
 func NewBaseTable(bits int, mem *memory.Store) *BaseTable {
-	return &BaseTable{entries: make([]BaseEntry, 1<<uint(bits)), mem: mem}
+	size := 1 << uint(bits)
+	if p, ok := tablePools.Load(size); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			t := v.(*BaseTable)
+			t.mem = mem
+			t.Reset()
+			return t
+		}
+	}
+	return &BaseTable{entries: make([]BaseEntry, size), epoch: 1, mem: mem}
 }
+
+// Reset invalidates every entry in O(1) by advancing the validity epoch.
+// Stamps only ever hold past epoch values, so no entry can compare equal
+// to the new epoch — except after the uint32 wraps, when stamps from
+// 2^32-1 resets ago could alias; that one reset in four billion pays a
+// full slab zeroing and restarts at epoch 1.
+func (t *BaseTable) Reset() {
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.entries)
+		t.epoch = 1
+	}
+}
+
+// Release detaches the table from its backing store and parks it in the
+// per-size pool for the next NewBaseTable of the same geometry. The
+// caller must not touch the table afterwards.
+func (t *BaseTable) Release() {
+	t.mem = nil
+	p, _ := tablePools.LoadOrStore(len(t.entries), &sync.Pool{})
+	p.(*sync.Pool).Put(t)
+}
+
+// valid reports whether e carries t's current validity epoch.
+func (t *BaseTable) valid(e *BaseEntry) bool { return e.epoch == t.epoch }
+
+// markValid stamps e valid for t's current epoch. The caller must also
+// set Base and Cntr: a previously stale entry holds garbage.
+func (t *BaseTable) markValid(e *BaseEntry) { e.epoch = t.epoch }
 
 // Len returns the number of table entries.
 func (t *BaseTable) Len() int { return len(t.entries) }
@@ -51,7 +111,7 @@ func (t *BaseTable) chargeDRAM() {
 func (t *BaseTable) ActiveClusters() (live, valid int) {
 	for i := range t.entries {
 		e := &t.entries[i]
-		if e.Valid {
+		if t.valid(e) {
 			valid++
 			if e.Cntr > 0 {
 				live++
@@ -68,7 +128,7 @@ func (t *BaseTable) ClusterSizes() (frac [4]float64) {
 	var counts [4]int
 	for i := range t.entries {
 		e := &t.entries[i]
-		if !e.Valid || e.Cntr == 0 {
+		if !t.valid(e) || e.Cntr == 0 {
 			continue
 		}
 		switch {

@@ -14,15 +14,16 @@ func TestBaseTableClusterSizes(t *testing.T) {
 	if tab.Len() != 256 {
 		t.Fatalf("Len = %d", tab.Len())
 	}
-	tab.entry(1).Valid = true
-	tab.entry(1).Cntr = 5 // <10
-	tab.entry(2).Valid = true
-	tab.entry(2).Cntr = 30 // <50
-	tab.entry(3).Valid = true
-	tab.entry(3).Cntr = 400 // <500
-	tab.entry(5).Valid = true
-	tab.entry(5).Cntr = 600   // 500+
-	tab.entry(4).Valid = true // cntr 0: retired, not counted
+	stamp := func(fp lsh.Fingerprint, cntr uint32) {
+		e := tab.entry(fp)
+		tab.markValid(e)
+		e.Cntr = cntr
+	}
+	stamp(1, 5)   // <10
+	stamp(2, 30)  // <50
+	stamp(3, 400) // <500
+	stamp(5, 600) // 500+
+	stamp(4, 0)   // cntr 0: retired, not counted
 	f := tab.ClusterSizes()
 	want := [4]float64{1.0 / 256, 1.0 / 256, 1.0 / 256, 1.0 / 256}
 	if f != want {
@@ -136,8 +137,8 @@ func TestBaseRetirement(t *testing.T) {
 	mem.Poke(0, l)
 	c.Read(0)
 	ent := c.table.entry(fp)
-	if !ent.Valid || ent.Cntr != 0 {
-		t.Fatalf("table not seeded: valid=%v cntr=%d", ent.Valid, ent.Cntr)
+	if !c.table.valid(ent) || ent.Cntr != 0 {
+		t.Fatalf("table not seeded: valid=%v cntr=%d", c.table.valid(ent), ent.Cntr)
 	}
 
 	// The next insertion for the fingerprint hits the base cache, finds

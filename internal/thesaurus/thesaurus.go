@@ -371,7 +371,7 @@ func (c *Cache) releaseBase(p tagPayload) {
 		return
 	}
 	ent := c.table.entry(p.fp)
-	if !ent.Valid || ent.Cntr == 0 {
+	if !c.table.valid(ent) || ent.Cntr == 0 {
 		panic("thesaurus: base refcount underflow")
 	}
 	ent.Cntr--
@@ -421,7 +421,7 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 
 	// Fig. 15 accounting: would this line compress against the
 	// authoritative clusteroid (ignoring base-cache state)?
-	if !ent.Valid || ent.Cntr == 0 ||
+	if !c.table.valid(ent) || ent.Cntr == 0 ||
 		line.DiffBytes(&data, &ent.Base) <= diffenc.MaxCompressibleDiffBytes {
 		c.extra.Compressible++
 	}
@@ -429,10 +429,10 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 	// Base-cache access on the insertion path. A miss means the base is
 	// not available in time: store raw while the entry is fetched (§5.4.1).
 	if !c.bcache.Access(fp, c.table, false) {
-		if !ent.Valid {
+		if !c.table.valid(ent) {
 			// No clusteroid existed; seed the table so future insertions
 			// for this fingerprint can cluster.
-			ent.Valid = true
+			c.table.markValid(ent)
 			ent.Base = data
 			ent.Cntr = 0
 		}
@@ -442,9 +442,9 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 	}
 
 	// Base cache hit: the clusteroid (if any) is at hand.
-	if !ent.Valid || ent.Cntr == 0 {
+	if !c.table.valid(ent) || ent.Cntr == 0 {
 		// No live cluster: this line becomes the (new) clusteroid.
-		ent.Valid = true
+		c.table.markValid(ent)
 		ent.Base = data
 		ent.Cntr = 1
 		e.Payload.fmt = diffenc.FormatBaseOnly
@@ -567,7 +567,7 @@ func (c *Cache) decodeEntry(e *cache.Entry[tagPayload]) line.Line {
 	var base *line.Line
 	if p.refsBase() {
 		ent := c.table.entry(p.fp)
-		if !ent.Valid {
+		if !c.table.valid(ent) {
 			panic("thesaurus: base-referencing entry without table base")
 		}
 		base = &ent.Base
@@ -621,6 +621,95 @@ func (c *Cache) Footprint() llc.Footprint {
 	}
 }
 
+// BaseCacheSnapshot captures the base-cache statistics that survive
+// release (the Fig. 20 sweep metrics).
+type BaseCacheSnapshot struct {
+	// ReadPath/InsertPath are the per-path hit counters at release time.
+	ReadPath   stats.Counter
+	InsertPath stats.Counter
+	// Entries and StorageBytes describe the configured geometry.
+	Entries      int
+	StorageBytes int
+}
+
+// HitRate returns the combined hit rate across both paths, exactly as
+// BaseCache.HitRate computed it on the live cache.
+func (b BaseCacheSnapshot) HitRate() float64 {
+	total := b.ReadPath.Total + b.InsertPath.Total
+	if total == 0 {
+		return 0
+	}
+	return float64(b.ReadPath.Hits+b.InsertPath.Hits) / float64(total)
+}
+
+// Snapshot is the Thesaurus-specific release snapshot: everything
+// Figures 15-20 and the calibration tool consult after the cache's
+// storage is gone.
+type Snapshot struct {
+	// Cfg is the configuration the cache ran with.
+	Cfg Config
+	// Extra holds the Thesaurus counters (Figs. 15, 17, 18).
+	Extra ExtraStats
+	// Adaptive holds the cache-insensitivity detector counters.
+	Adaptive AdaptiveStats
+	// DiffSeries is the Fig. 19 time series (nil unless enabled).
+	DiffSeries []float64
+	// BaseCache carries the Fig. 20 base-cache metrics.
+	BaseCache BaseCacheSnapshot
+	// LiveClusters/ValidClusters are BaseTable.ActiveClusters at release
+	// time.
+	LiveClusters  int
+	ValidClusters int
+}
+
+// Clone implements llc.ExtraSnapshot.
+func (s *Snapshot) Clone() llc.ExtraSnapshot {
+	cp := *s
+	if s.DiffSeries != nil {
+		// make+copy (not append onto nil) so an empty-but-non-nil series
+		// stays non-nil: reports distinguish [] from null in JSON.
+		cp.DiffSeries = make([]float64, len(s.DiffSeries))
+		copy(cp.DiffSeries, s.DiffSeries)
+	}
+	return &cp
+}
+
+// Release implements llc.Cache: it extracts the immutable statistics
+// snapshot and frees the cache's bulk storage — the tag array, the
+// data-array slabs, and the base table, which returns to the per-size
+// pool for the next cache of the same geometry. Nothing on the cache may
+// be used afterwards; only the returned snapshot survives.
+func (c *Cache) Release() llc.StatsSnapshot {
+	if c.table == nil {
+		panic("thesaurus: Release called twice")
+	}
+	live, valid := c.table.ActiveClusters()
+	snap := &Snapshot{
+		Cfg:      c.cfg,
+		Extra:    c.extra,
+		Adaptive: c.adaptiveStats,
+		BaseCache: BaseCacheSnapshot{
+			ReadPath:     c.bcache.ReadPath,
+			InsertPath:   c.bcache.InsertPath,
+			Entries:      c.bcache.Entries(),
+			StorageBytes: c.bcache.StorageBytes(),
+		},
+		LiveClusters:  live,
+		ValidClusters: valid,
+	}
+	if s := c.DiffSeries(); s != nil {
+		snap.DiffSeries = make([]float64, len(s))
+		copy(snap.DiffSeries, s)
+	}
+	c.table.Release()
+	c.table = nil
+	c.tags = nil
+	c.data = nil
+	c.bcache = nil
+	c.diffSeries = nil
+	return llc.StatsSnapshot{Design: c.Name(), Stats: c.stats, Extra: snap}
+}
+
 // CheckInvariants cross-validates tag/data/base-table bookkeeping; tests
 // call it after randomized operation sequences.
 func (c *Cache) CheckInvariants() error {
@@ -650,13 +739,18 @@ func (c *Cache) CheckInvariants() error {
 	})
 	for fp, want := range refs {
 		ent := c.table.entry(fp)
-		if !ent.Valid || ent.Cntr != want {
+		if !c.table.valid(ent) || ent.Cntr != want {
 			return fmt.Errorf("base %#x: cntr=%d but %d referencing tags", fp, ent.Cntr, want)
 		}
 	}
-	// And no base claims references it does not have.
+	// And no base claims references it does not have. Entries outside the
+	// current validity epoch are stale content from a previous table life
+	// (the table may come from the per-size pool) and carry no claims.
 	for i := 0; i < c.table.Len(); i++ {
 		ent := &c.table.entries[i]
+		if !c.table.valid(ent) {
+			continue
+		}
 		if ent.Cntr != 0 && refs[lsh.Fingerprint(i)] != ent.Cntr {
 			return fmt.Errorf("base %#x: cntr=%d but %d referencing tags", i, ent.Cntr, refs[lsh.Fingerprint(i)])
 		}

@@ -4,6 +4,8 @@
 package uncomp
 
 import (
+	"sort"
+
 	"repro/internal/cache"
 	"repro/internal/line"
 	"repro/internal/llc"
@@ -127,4 +129,45 @@ func (c *Cache) Contents() map[line.Addr]line.Line {
 		out[e.Addr] = e.Payload
 	})
 	return out
+}
+
+// Snapshot is the conventional cache's release snapshot: the resident
+// lines in ascending address order, the input to the snapshot-based
+// motivation experiments (Figs. 1, 2, 5).
+type Snapshot struct {
+	Lines []line.Line
+}
+
+// Clone implements llc.ExtraSnapshot.
+func (s *Snapshot) Clone() llc.ExtraSnapshot {
+	cp := &Snapshot{}
+	if s.Lines != nil {
+		cp.Lines = make([]line.Line, len(s.Lines))
+		copy(cp.Lines, s.Lines)
+	}
+	return cp
+}
+
+// Release implements llc.Cache: it extracts the resident lines in
+// ascending address order and frees the tag array. The cache must not be
+// used afterwards.
+func (c *Cache) Release() llc.StatsSnapshot {
+	if c.tags == nil {
+		panic("uncomp: Release called twice")
+	}
+	type resident struct {
+		addr line.Addr
+		data line.Line
+	}
+	pairs := make([]resident, 0, c.tags.CountValid())
+	c.tags.ForEach(func(_ int, e *cache.Entry[line.Line]) {
+		pairs = append(pairs, resident{e.Addr, e.Payload})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].addr < pairs[j].addr })
+	snap := &Snapshot{Lines: make([]line.Line, len(pairs))}
+	for i := range pairs {
+		snap.Lines[i] = pairs[i].data
+	}
+	c.tags = nil
+	return llc.StatsSnapshot{Design: c.name, Stats: c.stats, Extra: snap}
 }
