@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json
+.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json cache-identity clean-cache
 
-ci: fmtcheck vet lint build test race benchsmoke
+ci: fmtcheck vet lint build test race benchsmoke cache-identity
 
 vet:
 	$(GO) vet ./...
@@ -56,6 +56,37 @@ benchsmoke:
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDiffEncodeRoundtrip -fuzztime=5s ./internal/diffenc
 	$(GO) test -run='^$$' -fuzz=FuzzLSHFingerprintStable -fuzztime=5s ./internal/lsh
+	$(GO) test -run='^$$' -fuzz=FuzzRecordedCodecRoundtrip -fuzztime=5s ./internal/artifact
+
+# The artifact cache is an accelerator, never an input: campaign reports
+# must be byte-identical whether the cache is off, cold, or warm, serial
+# or parallel (docs/performance.md). The per-experiment wall-clock lines
+# are the only legitimate difference in text mode and are filtered before
+# comparison; artifact stats go to stderr and never touch the reports.
+cache-identity:
+	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/thesaurus ./cmd/thesaurus; \
+	echo "cache-identity: cache-off serial (reference)"; \
+	$$tmp/thesaurus -no-cache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 2>/dev/null \
+		| sed '/completed in/d' >$$tmp/ref.txt; \
+	$$tmp/thesaurus -json -no-cache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null >$$tmp/ref.json; \
+	echo "cache-identity: cold cache, workers=4"; \
+	$$tmp/thesaurus -cache-dir $$tmp/cache -workers 4 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/cold.txt; \
+	echo "cache-identity: warm cache, serial + json workers=4"; \
+	$$tmp/thesaurus -cache-dir $$tmp/cache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/warm.txt; \
+	$$tmp/thesaurus -json -cache-dir $$tmp/cache -workers 4 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null >$$tmp/warm.json; \
+	cmp $$tmp/ref.txt $$tmp/cold.txt; \
+	cmp $$tmp/ref.txt $$tmp/warm.txt; \
+	cmp $$tmp/ref.json $$tmp/warm.json; \
+	echo "cache-identity: OK (text and JSON byte-identical across cache-off/cold/warm)"
+
+# Remove the default on-disk artifact cache (the -cache-dir default).
+clean-cache:
+	rm -rf "$${XDG_CACHE_HOME:-$$HOME/.cache}/thesaurus/artifacts"
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./internal/line ./internal/diffenc ./internal/lsh

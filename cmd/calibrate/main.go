@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/harness"
 	"repro/internal/thesaurus"
 	"repro/internal/workload"
@@ -22,7 +23,26 @@ import (
 func main() {
 	n := flag.Int("n", 600_000, "accesses per profile")
 	designs := flag.String("designs", "", "comma-separated design subset (default all)")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default: user cache dir)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact cache byte budget, LRU-evicted (0 = unlimited)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
 	flag.Parse()
+
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			if base, err := os.UserCacheDir(); err == nil {
+				dir = base + "/thesaurus/artifacts"
+			}
+		}
+		if dir != "" {
+			if c, err := artifact.Open(dir, *cacheMax); err == nil {
+				harness.UseArtifacts(c)
+			} else {
+				fmt.Fprintln(os.Stderr, "calibrate: artifact cache disabled:", err)
+			}
+		}
+	}
 
 	profiles := flag.Args()
 	if len(profiles) == 0 {

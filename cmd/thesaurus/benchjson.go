@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/artifact"
 	"repro/internal/bdi"
 	"repro/internal/bdicache"
 	"repro/internal/diffenc"
+	"repro/internal/harness"
 	"repro/internal/line"
 	"repro/internal/lsh"
 	"repro/internal/memory"
@@ -194,6 +196,30 @@ func runBenchJSON(path string) error {
 		for i := 0; i < b.N; i++ {
 			t := thesaurus.NewBaseTable(20, mem)
 			t.Release()
+		}
+	})
+
+	// --- artifact cache codec (warm-start path) ---
+	// A warm campaign's recording cost is exactly one decode per profile,
+	// so these two rows are the trajectory of the cold→warm gap.
+	benchRec, err := harness.RecordProfile("mcf", 100_000)
+	if err != nil {
+		return err
+	}
+	benchArtifact := artifact.Encode(nil, &artifact.File{Recorded: benchRec})
+	add("artifact_encode_recorded", int64(len(benchArtifact)), func(b *testing.B) {
+		buf := make([]byte, 0, len(benchArtifact))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = artifact.Encode(buf[:0], &artifact.File{Recorded: benchRec})
+		}
+	})
+	add("artifact_load_recorded", int64(len(benchArtifact)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := artifact.Decode(benchArtifact); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

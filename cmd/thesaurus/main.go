@@ -19,6 +19,10 @@
 //	-benchjson f  run the hot-path benchmarks and write BENCH_hotpath.json to f
 //	-cpuprofile f write a pprof CPU profile of the whole campaign to f
 //	-memprofile f write a pprof heap profile at exit to f
+//	-cache-dir d       on-disk artifact cache directory (default: user cache dir)
+//	-cache-max-bytes N artifact cache byte budget, LRU-evicted (0 = unlimited)
+//	-no-cache          disable the on-disk artifact cache
+//	-cache-verify      debug: regenerate and deep-compare every artifact hit
 package main
 
 import (
@@ -30,10 +34,48 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
+
+// setupArtifacts installs the on-disk recording cache. The cache is an
+// accelerator only, so any setup failure just disables it with a note on
+// stderr — stdout (the report byte-identity surface) is never touched.
+func setupArtifacts(dir string, maxBytes int64, disabled, verify bool) {
+	if disabled {
+		return
+	}
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
+			return
+		}
+		dir = base + "/thesaurus/artifacts"
+	}
+	c, err := artifact.Open(dir, maxBytes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
+		return
+	}
+	harness.UseArtifacts(c)
+	harness.SetArtifactVerify(verify)
+}
+
+// reportArtifactStats summarizes cache activity on stderr (stderr so the
+// deterministic reports stay byte-identical across cache modes).
+func reportArtifactStats() {
+	st, ok := harness.ArtifactStats()
+	if !ok {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"artifact cache: %d hits, %d misses, %d stores, %d corrupt, %d evicted, %.1f MiB loaded, %.1f MiB stored\n",
+		st.Hits, st.Misses, st.Stores, st.Corrupt, st.Evictions,
+		float64(st.BytesLoaded)/(1<<20), float64(st.BytesStored)/(1<<20))
+}
 
 func main() {
 	n := flag.Int("n", harness.DefaultAccesses, "accesses per benchmark profile")
@@ -44,6 +86,10 @@ func main() {
 	benchjson := flag.String("benchjson", "", "run hot-path benchmarks and write JSON to file (\"-\" = stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write pprof CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write pprof heap profile to file")
+	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default: user cache dir)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact cache byte budget, LRU-evicted (0 = unlimited)")
+	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
+	cacheVerify := flag.Bool("cache-verify", false, "debug: regenerate and deep-compare every artifact hit")
 	flag.Parse()
 
 	if *benchjson != "" {
@@ -52,6 +98,9 @@ func main() {
 		}
 		return
 	}
+
+	setupArtifacts(*cacheDir, *cacheMax, *noCache, *cacheVerify)
+	defer reportArtifactStats()
 
 	opt := experiments.Default()
 	opt.Accesses = *n

@@ -6,7 +6,16 @@
 // Usage:
 //
 //	tracegen -profile mcf -n 1000000 -o mcf.trace
+//	tracegen -profile mcf -n 1000000 -artifact mcf.thsa
+//	tracegen -profile mcf -n 1000000 -cache-dir ~/.cache/thesaurus/artifacts
 //	tracegen -list
+//
+// With -artifact, the trace is filtered through the private L1/L2 levels
+// and written as a recording artifact (internal/artifact codec: the
+// L1/L2-filtered LLC event stream plus the full memory image), directly
+// loadable by the experiment harness. With -cache-dir, the same artifact
+// is stored into an artifact cache under its canonical content key, so a
+// later thesaurus/calibrate run starts warm.
 package main
 
 import (
@@ -14,6 +23,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -22,6 +33,8 @@ func main() {
 	profile := flag.String("profile", "mcf", "workload profile name")
 	n := flag.Int("n", 1_000_000, "number of accesses to generate")
 	out := flag.String("o", "", "output file (default <profile>.trace)")
+	artifactOut := flag.String("artifact", "", "write a recording artifact (recorded events + memory image) to this file")
+	cacheDir := flag.String("cache-dir", "", "store the recording into this artifact cache under its canonical key")
 	list := flag.Bool("list", false, "list available profiles and exit")
 	flag.Parse()
 
@@ -40,6 +53,36 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+
+	if *artifactOut != "" || *cacheDir != "" {
+		// The artifact holds the L1/L2-filtered recording, not the raw
+		// trace, so it must come from a fresh generation (recording
+		// mutates the image as stores retire).
+		gen := p.Generate(*n)
+		rec := sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image)
+		af := &artifact.File{Recorded: rec, Image: gen.Image}
+		if *artifactOut != "" {
+			data := artifact.Encode(nil, af)
+			if err := os.WriteFile(*artifactOut, data, 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote artifact: %d LLC events, %d-line image, %.1fMB to %s\n",
+				len(rec.Events), gen.Image.Populated(), float64(len(data))/(1<<20), *artifactOut)
+		}
+		if *cacheDir != "" {
+			c, err := artifact.Open(*cacheDir, 0)
+			if err != nil {
+				fail(err)
+			}
+			key := artifact.RecordedKey(p, sim.DefaultSystem(), *n)
+			c.StoreRecorded(key, rec)
+			fmt.Printf("cached recording %s/%d under %s/%s.thsa\n", p.Name, *n, *cacheDir, key)
+		}
+		if *out == "" {
+			return
+		}
+	}
+
 	gen := p.Generate(*n)
 	accesses := trace.Collect(gen.Stream, *n)
 

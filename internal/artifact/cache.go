@@ -1,0 +1,258 @@
+package artifact
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Cache is a directory of content-addressed artifacts. All methods are
+// safe for concurrent use from multiple goroutines and — via lock files —
+// multiple processes sharing the directory.
+//
+// Failure policy: the cache is an accelerator, never a correctness
+// dependency. Unreadable, torn, or corrupt entries are removed and
+// reported as misses; write failures degrade to "compute without
+// persisting". No method returns an error for cache trouble — only Open
+// can fail, when the directory itself is unusable.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	// lockWait bounds how long a process waits on another writer's lock
+	// before recording without persisting; lockStale is the age past
+	// which a lock file is presumed abandoned (crashed writer) and
+	// broken. Overridable in tests.
+	lockWait  time.Duration
+	lockStale time.Duration
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	stores      atomic.Uint64
+	corrupt     atomic.Uint64
+	evictions   atomic.Uint64
+	bytesLoaded atomic.Uint64
+	bytesStored atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of cache activity.
+type Stats struct {
+	Hits, Misses, Stores uint64
+	Corrupt, Evictions   uint64
+	BytesLoaded          uint64
+	BytesStored          uint64
+}
+
+// Open creates (if needed) and returns the cache rooted at dir.
+// maxBytes ≤ 0 disables eviction.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: open cache: %w", err)
+	}
+	return &Cache{
+		dir:       dir,
+		maxBytes:  maxBytes,
+		lockWait:  2 * time.Minute,
+		lockStale: 10 * time.Minute,
+	}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stores:      c.stores.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Evictions:   c.evictions.Load(),
+		BytesLoaded: c.bytesLoaded.Load(),
+		BytesStored: c.bytesStored.Load(),
+	}
+}
+
+func (c *Cache) path(key string) string { return filepath.Join(c.dir, key+".thsa") }
+func (c *Cache) lock(key string) string { return filepath.Join(c.dir, key+".lock") }
+
+// LoadRecorded returns the recording stored under key, or ok=false on any
+// miss: absent, written by another codec version, or corrupt (corrupt
+// entries are removed so the next store overwrites them cleanly). A hit
+// freshens the entry's mtime, which is the LRU recency signal.
+func (c *Cache) LoadRecorded(key string) (*sim.Recorded, bool) {
+	rec, ok := c.load(key)
+	if !ok {
+		c.misses.Add(1)
+	}
+	return rec, ok
+}
+
+// load is LoadRecorded without the miss accounting: LoadOrRecord probes
+// the same key several times per logical lookup (before the lock, under
+// the lock, while polling another writer) and must count one hit or one
+// miss total, not one per probe.
+func (c *Cache) load(key string) (*sim.Recorded, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	f, err := Decode(data)
+	if err != nil || f.Recorded == nil {
+		// Version skew is an honest miss; anything else is corruption.
+		// Either way the entry is useless under this key: drop it so
+		// regeneration overwrites rather than re-tripping forever.
+		if !errors.Is(err, ErrVersionSkew) {
+			c.corrupt.Add(1)
+		}
+		os.Remove(c.path(key))
+		return nil, false
+	}
+	now := time.Now()
+	os.Chtimes(c.path(key), now, now)
+	c.hits.Add(1)
+	c.bytesLoaded.Add(uint64(len(data)))
+	return f.Recorded, true
+}
+
+// StoreRecorded persists rec under key: encode, write to a temp file in
+// the same directory, fsync, rename. A crash at any point leaves either
+// the old entry or a stray temp file — never a torn artifact (torn temp
+// files also fail the checksum if ever read). Failures are swallowed:
+// the caller already has the recording.
+func (c *Cache) StoreRecorded(key string, rec *sim.Recorded) {
+	c.store(key, &File{Recorded: rec})
+}
+
+// StoreFile persists an arbitrary artifact (cmd/tracegen writes
+// recording+image pairs) under key.
+func (c *Cache) StoreFile(key string, f *File) {
+	c.store(key, f)
+}
+
+func (c *Cache) store(key string, f *File) {
+	data := Encode(make([]byte, 0, 1<<20), f)
+	if err := writeAtomic(c.dir, c.path(key), data); err != nil {
+		return
+	}
+	c.stores.Add(1)
+	c.bytesStored.Add(uint64(len(data)))
+	c.evict()
+}
+
+// writeAtomic writes data to path via a same-directory temp file + rename.
+func writeAtomic(dir, path string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadOrRecord returns the recording under key, loading it from disk when
+// present and otherwise computing it with record and persisting the
+// result. Concurrent callers across processes coalesce through a lock
+// file: one records while the rest poll for its artifact, breaking the
+// lock only when it looks abandoned. hit reports whether the recording
+// came from disk.
+func (c *Cache) LoadOrRecord(key string, record func() *sim.Recorded) (rec *sim.Recorded, hit bool) {
+	if rec, ok := c.load(key); ok {
+		return rec, true
+	}
+	deadline := time.Now().Add(c.lockWait)
+	for {
+		lf, err := os.OpenFile(c.lock(key), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			lf.Close()
+			defer os.Remove(c.lock(key))
+			// Another process may have finished while we raced for the
+			// lock; its artifact is fresher than anything we'd recompute.
+			if rec, ok := c.load(key); ok {
+				return rec, true
+			}
+			c.misses.Add(1)
+			rec = record()
+			c.StoreRecorded(key, rec)
+			return rec, false
+		}
+		// Lock held: wait for the holder's artifact instead of
+		// duplicating its work.
+		if st, serr := os.Stat(c.lock(key)); serr == nil && time.Since(st.ModTime()) > c.lockStale {
+			os.Remove(c.lock(key)) // abandoned by a crashed writer
+			continue
+		}
+		if time.Now().After(deadline) {
+			// The holder is stuck or much slower than us. Recording
+			// without persisting keeps this process correct and leaves
+			// the store to whoever holds the lock.
+			c.misses.Add(1)
+			return record(), false
+		}
+		time.Sleep(25 * time.Millisecond)
+		if rec, ok := c.load(key); ok {
+			return rec, true
+		}
+	}
+}
+
+// evict removes least-recently-used artifacts (oldest mtime first) until
+// the directory fits the byte budget. Lock and temp files are ignored.
+func (c *Cache) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || filepath.Ext(path) != ".thsa" {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			entries = append(entries, entry{path, info.Size(), info.ModTime()})
+			total += info.Size()
+		}
+		return nil
+	})
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			c.evictions.Add(1)
+		}
+	}
+}

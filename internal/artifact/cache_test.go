@@ -1,0 +1,279 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testCache(t *testing.T, maxBytes int64) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheStoreLoad(t *testing.T) {
+	c := testCache(t, 0)
+	rec := synthRecorded(1, 400)
+	if _, ok := c.LoadRecorded("k1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.StoreRecorded("k1", rec)
+	got, ok := c.LoadRecorded("k1")
+	if !ok {
+		t.Fatal("miss after store")
+	}
+	if !RecordedEqual(got, rec) {
+		t.Fatal("loaded recording differs")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.BytesStored == 0 || st.BytesLoaded != st.BytesStored {
+		t.Fatalf("byte accounting %+v", st)
+	}
+}
+
+func TestCacheKeysIsolate(t *testing.T) {
+	c := testCache(t, 0)
+	a, b := synthRecorded(1, 30), synthRecorded(2, 30)
+	c.StoreRecorded("a", a)
+	c.StoreRecorded("b", b)
+	got, ok := c.LoadRecorded("a")
+	if !ok || !RecordedEqual(got, a) {
+		t.Fatal("key a")
+	}
+	got, ok = c.LoadRecorded("b")
+	if !ok || !RecordedEqual(got, b) {
+		t.Fatal("key b")
+	}
+}
+
+// TestCacheCorruptionRegenerates: a corrupt entry is a miss, the file is
+// removed, and a subsequent store overwrites it cleanly.
+func TestCacheCorruptionRegenerates(t *testing.T) {
+	c := testCache(t, 0)
+	rec := synthRecorded(3, 100)
+	c.StoreRecorded("k", rec)
+	path := c.path("k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.LoadRecorded("k"); ok {
+		t.Fatal("corrupt entry returned as hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not removed")
+	}
+	if st := c.Stats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt count %d", st.Corrupt)
+	}
+	calls := 0
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded { calls++; return rec })
+	if hit || calls != 1 {
+		t.Fatalf("hit=%v calls=%d after corruption", hit, calls)
+	}
+	if !RecordedEqual(got, rec) {
+		t.Fatal("regenerated recording differs")
+	}
+	if got, ok := c.LoadRecorded("k"); !ok || !RecordedEqual(got, rec) {
+		t.Fatal("regeneration did not overwrite the corrupt entry")
+	}
+}
+
+// TestCacheVersionSkewIsMiss: an artifact written by a different codec
+// version is silently treated as absent.
+func TestCacheVersionSkewIsMiss(t *testing.T) {
+	c := testCache(t, 0)
+	c.StoreRecorded("k", synthRecorded(4, 50))
+	path := c.path("k")
+	data, _ := os.ReadFile(path)
+	data[4] = byte(Version + 7)
+	patchCRC(data)
+	os.WriteFile(path, data, 0o644)
+	if _, ok := c.LoadRecorded("k"); ok {
+		t.Fatal("version-skewed entry returned as hit")
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Fatal("version skew counted as corruption")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := testCache(t, 0)
+	rec := synthRecorded(5, 200)
+	c.StoreRecorded("old", rec)
+	size, _ := os.Stat(c.path("old"))
+	// Budget for two entries, not three.
+	c.maxBytes = size.Size()*2 + size.Size()/2
+	past := time.Now().Add(-time.Hour)
+	os.Chtimes(c.path("old"), past, past)
+	c.StoreRecorded("mid", rec)
+	c.StoreRecorded("new", rec)
+	if _, err := os.Stat(c.path("old")); !os.IsNotExist(err) {
+		t.Fatal("oldest entry not evicted")
+	}
+	for _, k := range []string{"mid", "new"} {
+		if _, err := os.Stat(c.path(k)); err != nil {
+			t.Fatalf("entry %q evicted: %v", k, err)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions %d", st.Evictions)
+	}
+	// A hit freshens recency: touch "mid", store another entry, and the
+	// untouched "new" goes first.
+	if _, ok := c.LoadRecorded("mid"); !ok {
+		t.Fatal("mid missing")
+	}
+	old := time.Now().Add(-30 * time.Minute)
+	os.Chtimes(c.path("new"), old, old)
+	c.StoreRecorded("newer", rec)
+	if _, err := os.Stat(c.path("new")); !os.IsNotExist(err) {
+		t.Fatal("LRU did not evict the least recently used entry")
+	}
+	if _, err := os.Stat(c.path("mid")); err != nil {
+		t.Fatal("recently hit entry evicted")
+	}
+}
+
+// TestCacheConcurrentLoadOrRecord: many goroutines racing on one cold key
+// all get equal recordings and the artifact lands intact. (In-process
+// callers normally coalesce in harness; this exercises the lock-file path
+// the way separate processes would.)
+func TestCacheConcurrentLoadOrRecord(t *testing.T) {
+	c := testCache(t, 0)
+	rec := synthRecorded(6, 300)
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	out := make([]*sim.Recorded, 8)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _ := c.LoadOrRecord("k", func() *sim.Recorded {
+				calls.Add(1)
+				time.Sleep(10 * time.Millisecond)
+				return rec
+			})
+			out[i] = got
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range out {
+		if got == nil || !RecordedEqual(got, rec) {
+			t.Fatalf("caller %d got a wrong recording", i)
+		}
+	}
+	// The lock serializes: at most one caller records while holding it;
+	// late arrivals load its artifact.
+	if n := calls.Load(); n < 1 || n > 2 {
+		t.Fatalf("record ran %d times", n)
+	}
+	if got, ok := c.LoadRecorded("k"); !ok || !RecordedEqual(got, rec) {
+		t.Fatal("artifact torn or missing after concurrent writers")
+	}
+	ents, _ := os.ReadDir(c.dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") || strings.HasSuffix(e.Name(), ".lock") {
+			t.Fatalf("stray file %q left behind", e.Name())
+		}
+	}
+}
+
+// TestCacheStaleLockBroken: a lock file abandoned by a crashed writer is
+// broken after lockStale and the caller proceeds to record.
+func TestCacheStaleLockBroken(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockStale = 50 * time.Millisecond
+	c.lockWait = 5 * time.Second
+	if err := os.WriteFile(c.lock("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Minute)
+	os.Chtimes(c.lock("k"), old, old)
+	rec := synthRecorded(7, 40)
+	start := time.Now()
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded { return rec })
+	if hit || !RecordedEqual(got, rec) {
+		t.Fatal("stale lock not broken")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("stale-lock break waited for the full deadline")
+	}
+	if _, ok := c.LoadRecorded("k"); !ok {
+		t.Fatal("artifact not stored after breaking the stale lock")
+	}
+}
+
+// TestCacheLockTimeout: when a live writer never finishes within
+// lockWait, the caller computes without persisting and does not remove
+// the holder's lock.
+func TestCacheLockTimeout(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockWait = 60 * time.Millisecond
+	c.lockStale = time.Hour
+	if err := os.WriteFile(c.lock("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := synthRecorded(8, 40)
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded { return rec })
+	if hit || !RecordedEqual(got, rec) {
+		t.Fatal("timeout path did not compute")
+	}
+	if _, err := os.Stat(c.lock("k")); err != nil {
+		t.Fatal("live lock removed by a timed-out waiter")
+	}
+	if _, ok := c.LoadRecorded("k"); ok {
+		t.Fatal("timed-out waiter persisted despite not holding the lock")
+	}
+}
+
+// TestCacheWaiterAdoptsWritersArtifact: a waiter blocked on the lock
+// picks up the holder's artifact as a hit once it lands.
+func TestCacheWaiterAdoptsWritersArtifact(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockWait = 5 * time.Second
+	rec := synthRecorded(9, 40)
+	if err := os.WriteFile(c.lock("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		c.StoreRecorded("k", rec)
+		os.Remove(c.lock("k"))
+	}()
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded {
+		t.Error("waiter recorded instead of adopting")
+		return rec
+	})
+	if !hit || !RecordedEqual(got, rec) {
+		t.Fatal("waiter did not adopt the writer's artifact")
+	}
+}
+
+func TestWriteAtomicLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeAtomic(dir, filepath.Join(dir, "out"), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 || ents[0].Name() != "out" {
+		t.Fatalf("directory contents: %v", ents)
+	}
+}

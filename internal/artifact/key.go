@@ -1,0 +1,30 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// RecordedKey derives the content address of a recording: the SHA-256 of
+// every input sim.Record's output depends on — the codec version (so a
+// format or semantics bump invalidates everything), the full profile
+// descriptor, the private-level geometry that does the L1/L2 filtering,
+// and the trace length. Timing/DRAM parameters and LLC configuration are
+// deliberately excluded: they only affect replay, not the recording.
+func RecordedKey(p workload.Profile, sys sim.SystemConfig, accesses int) string {
+	buf := make([]byte, 0, 256)
+	buf = append(buf, fmt.Sprintf("thesaurus-recorded-v%d\x00", Version)...)
+	buf = p.AppendKey(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sys.L1DSizeBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sys.L1DWays))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sys.L2SizeBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(sys.L2Ways))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(accesses))
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/artifact"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// artifacts is the process-wide on-disk recording cache (L2 behind the
+// in-memory memo). nil disables persistence. It is installed once at
+// startup by the CLIs, before any recording runs.
+var (
+	artifacts      atomic.Pointer[artifact.Cache]
+	artifactVerify atomic.Bool
+)
+
+// UseArtifacts installs c as the persistent recording cache consulted by
+// RecordProfile before simulating (nil uninstalls it). The in-memory memo
+// stays in front: a process loads or records each profile at most once,
+// so the disk sees exactly one access per key regardless of how many
+// runs later share the memoized recording.
+func UseArtifacts(c *artifact.Cache) { artifacts.Store(c) }
+
+// SetArtifactVerify enables paranoid mode: every artifact hit is followed
+// by a full re-recording and deep comparison, and a divergence fails the
+// run loudly. This is the guard against stale-key bugs (a parameter that
+// influences recording but is missing from the content key).
+func SetArtifactVerify(v bool) { artifactVerify.Store(v) }
+
+// ArtifactStats returns the installed cache's counters; ok is false when
+// no cache is installed.
+func ArtifactStats() (st artifact.Stats, ok bool) {
+	c := artifacts.Load()
+	if c == nil {
+		return artifact.Stats{}, false
+	}
+	return c.Stats(), true
+}
+
+// recordOrLoad is the body of RecordProfile's coalesced computation: it
+// consults the artifact cache (when installed) before paying for
+// generation + L1/L2 simulation. Running inside the coalesce flight
+// guarantees the disk lookup — and therefore the hit/miss accounting —
+// happens exactly once per key per process, even when the in-memory memo
+// serves every later call.
+func recordOrLoad(name string, accesses int) (*sim.Recorded, error) {
+	p, err := workload.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	record := func() *sim.Recorded {
+		gen := p.Generate(accesses)
+		return sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image)
+	}
+	c := artifacts.Load()
+	if c == nil {
+		return record(), nil
+	}
+	rec, hit := c.LoadOrRecord(artifact.RecordedKey(p, sim.DefaultSystem(), accesses), record)
+	if hit && artifactVerify.Load() {
+		fresh := record()
+		if !artifact.RecordedEqual(rec, fresh) {
+			return nil, fmt.Errorf(
+				"harness: artifact verify failed for %s/%d: cached recording diverges from regeneration (stale content key?)",
+				name, accesses)
+		}
+	}
+	return rec, nil
+}

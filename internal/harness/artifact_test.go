@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/artifact"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// forgetRecording drops the in-memory memo entry for (name, accesses),
+// simulating a fresh process over a warm artifact directory.
+func forgetRecording(name string, accesses int) {
+	recordedCache.Delete(fmt.Sprintf("%s/%d", name, accesses))
+}
+
+// TestArtifactHitCountedDespiteMemo is the regression test for the
+// hit-accounting bug class: the disk hit must be counted exactly once,
+// and later in-memory memo hits for the same key must neither hide it
+// nor inflate it (the lookup lives inside the coalesced flight).
+func TestArtifactHitCountedDespiteMemo(t *testing.T) {
+	// Unique accesses value so the process-global memo cannot have seen
+	// this key before.
+	const prof, accesses = "mcf", 5003
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	defer UseArtifacts(nil)
+
+	cold, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ArtifactStats(); st.Hits != 0 || st.Stores != 1 {
+		t.Fatalf("cold run: %+v", st)
+	}
+
+	forgetRecording(prof, accesses)
+	warm, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !artifact.RecordedEqual(cold, warm) {
+		t.Fatal("loaded recording differs from the one recorded")
+	}
+	st, ok := ArtifactStats()
+	if !ok || st.Hits != 1 {
+		t.Fatalf("warm run: hits = %d, want 1", st.Hits)
+	}
+
+	// Two more calls are pure memo hits: the artifact hit stays counted
+	// and the disk is not touched again.
+	for i := 0; i < 2; i++ {
+		memoed, err := RecordProfile(prof, accesses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if memoed != warm {
+			t.Fatal("memo returned a different recording")
+		}
+	}
+	if st2, _ := ArtifactStats(); st2.Hits != 1 || st2.BytesLoaded != st.BytesLoaded {
+		t.Fatalf("memo hits changed artifact stats: %+v -> %+v", st, st2)
+	}
+}
+
+// TestArtifactVerifyDetectsDivergence: with -cache-verify semantics on, a
+// cached recording that does not match regeneration fails the run.
+func TestArtifactVerifyDetectsDivergence(t *testing.T) {
+	const prof, accesses = "mcf", 5011
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	SetArtifactVerify(true)
+	defer func() {
+		SetArtifactVerify(false)
+		UseArtifacts(nil)
+	}()
+
+	// Plant a wrong recording under the canonical key, as a stale-key bug
+	// would: structurally valid, semantically wrong.
+	p, err := workload.ProfileByName(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.RecordedKey(p, sim.DefaultSystem(), accesses)
+	wrong, err := RecordProfile("omnetpp", accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.StoreRecorded(key, wrong)
+
+	_, err = RecordProfile(prof, accesses)
+	if err == nil || !strings.Contains(err.Error(), "verify failed") {
+		t.Fatalf("planted divergence not detected: err = %v", err)
+	}
+
+	// A genuine artifact passes verification: fresh directory, record
+	// cold, then verify the warm load of our own artifact.
+	c2, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c2)
+	good, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatalf("cold record with verify on: %v", err)
+	}
+	forgetRecording(prof, accesses)
+	again, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatalf("verified warm load: %v", err)
+	}
+	if !artifact.RecordedEqual(good, again) {
+		t.Fatal("verified warm load differs")
+	}
+	if st, _ := ArtifactStats(); st.Hits != 1 {
+		t.Fatalf("verified warm load not counted as hit: %+v", st)
+	}
+}
+
+// TestArtifactCacheTransparent: a run with the artifact cache installed
+// produces a recording identical to one computed without it.
+func TestArtifactCacheTransparent(t *testing.T) {
+	const prof, accesses = "xz", 5021
+	plain, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	defer UseArtifacts(nil)
+	forgetRecording(prof, accesses)
+	cold, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forgetRecording(prof, accesses)
+	warm, err := RecordProfile(prof, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !artifact.RecordedEqual(plain, cold) || !artifact.RecordedEqual(plain, warm) {
+		t.Fatal("artifact cache changed the recording")
+	}
+}

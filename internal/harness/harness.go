@@ -18,7 +18,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/thesaurus"
 	"repro/internal/uncomp"
-	"repro/internal/workload"
 )
 
 // Design names accepted by BuildLLC, in report order.
@@ -110,16 +109,14 @@ func coalesce[T any](memo, flights *sync.Map, key string, fn func() (T, error)) 
 // RecordProfile generates the named profile's trace and filters it
 // through the private cache levels, memoizing the result. Concurrent
 // calls for the same (profile, accesses) are coalesced into one
-// recording.
+// recording. When an artifact cache is installed (UseArtifacts), the
+// recording is loaded from disk instead of simulated where possible, and
+// persisted otherwise; the disk lookup happens inside the coalesced
+// flight, so it runs exactly once per key per process.
 func RecordProfile(name string, accesses int) (*sim.Recorded, error) {
 	key := fmt.Sprintf("%s/%d", name, accesses)
 	return coalesce(&recordedCache, &recordFlights, key, func() (*sim.Recorded, error) {
-		p, err := workload.ProfileByName(name)
-		if err != nil {
-			return nil, err
-		}
-		gen := p.Generate(accesses)
-		return sim.Record(gen.Stream, sim.DefaultSystem(), gen.Image), nil
+		return recordOrLoad(name, accesses)
 	})
 }
 

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// mapOrderFixtureDiags lints the fixmaporder fixture and returns its
+// maporder findings (edit spans carry module-relative paths).
+func mapOrderFixtureDiags(t *testing.T, r *Runner) []Diagnostic {
+	t.Helper()
+	diags, err := r.CheckDirAs(filepath.Join("testdata", "src", "fixmaporder"), "repro/internal/fixmaporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "maporder" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestMapOrderFixGolden pins the exact suggested fixes — spans, offsets,
+// and replacement text — as JSON. Fixable loops must carry exactly one
+// fix; the shapes the builder cannot rewrite safely must carry none.
+func TestMapOrderFixGolden(t *testing.T) {
+	r := testRunner(t)
+	diags := mapOrderFixtureDiags(t, r)
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no maporder findings")
+	}
+	for i := range diags {
+		diags[i].File = filepath.Base(diags[i].File)
+		for fi := range diags[i].Fixes {
+			for ei := range diags[i].Fixes[fi].Edits {
+				e := &diags[i].Fixes[fi].Edits[ei]
+				e.File = filepath.Base(e.File)
+			}
+		}
+		base := diags[i].File
+		nfix := len(diags[i].Fixes)
+		if base == "unfixable.go" && nfix != 0 {
+			t.Errorf("%s:%d: unfixable shape got %d fixes", base, diags[i].Line, nfix)
+		}
+		if base != "unfixable.go" && nfix != 1 {
+			t.Errorf("%s:%d: fixable shape got %d fixes, want 1", base, diags[i].Line, nfix)
+		}
+	}
+	got, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "fixmaporder", "fixes.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run FixGolden -update ./internal/lint` to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fixes differ from %s\ngot:\n%s", golden, got)
+	}
+}
+
+// TestMapOrderFixApplies machine-applies every suggested fix and checks
+// the result: it must survive gofmt (i.e. still parse) and match the
+// checked-in rewritten file exactly.
+func TestMapOrderFixApplies(t *testing.T) {
+	r := testRunner(t)
+	diags := mapOrderFixtureDiags(t, r)
+	perFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				perFile[e.File] = append(perFile[e.File], e)
+			}
+		}
+	}
+	if len(perFile) == 0 {
+		t.Fatal("no edits to apply")
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	// Deterministic order for failure output (and maporder compliance).
+	sort.Strings(files)
+	for _, rel := range files {
+		base := filepath.Base(rel)
+		// Edit paths are as the loader saw them: relative to this package
+		// directory in-test, module-relative from the CLI.
+		src, err := os.ReadFile(rel)
+		if err != nil {
+			src, err = os.ReadFile(filepath.Join(r.Loader.ModuleDir, rel))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := ApplyEdits(src, perFile[rel])
+		formatted, err := format.Source(applied)
+		if err != nil {
+			t.Fatalf("%s: applied fixes do not parse: %v\n%s", base, err, applied)
+		}
+		golden := filepath.Join("testdata", "fixmaporder", base+".applied")
+		if *update {
+			if err := os.WriteFile(golden, formatted, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (run `go test -run FixApplies -update ./internal/lint` to create)", err)
+		}
+		if string(formatted) != string(want) {
+			t.Errorf("%s: applied result differs from %s\ngot:\n%s", base, golden, formatted)
+		}
+	}
+	// The rewritten sources must themselves be lint-clean: re-running
+	// maporder over the applied goldens finds nothing.
+	cleanDir := t.TempDir()
+	pkgDir := filepath.Join(cleanDir, "fixmaporder")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(filepath.Join("testdata", "src", "fixmaporder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range names {
+		src, err := os.ReadFile(filepath.Join("testdata", "src", "fixmaporder", de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if applied, err := os.ReadFile(filepath.Join("testdata", "fixmaporder", de.Name()+".applied")); err == nil {
+			src = applied
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, de.Name()), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clean, err := r.CheckDirAs(pkgDir, "repro/internal/fixmaporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range clean {
+		if d.Analyzer != "maporder" {
+			continue
+		}
+		if strings.Contains(d.File, "unfixable.go") {
+			continue // no fix was offered there; still flagged by design
+		}
+		t.Errorf("applied fix did not silence the finding: %s", d)
+	}
+}

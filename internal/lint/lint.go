@@ -35,6 +35,62 @@ type Diagnostic struct {
 	Message string `json:"message"`
 	// Suppressed is set when an allowlist entry covers the finding.
 	Suppressed bool `json:"suppressed,omitempty"`
+	// Fixes holds machine-applicable rewrites that resolve the finding,
+	// when the analyzer can construct one (see SuggestedFix).
+	Fixes []SuggestedFix `json:"fixes,omitempty"`
+}
+
+// SuggestedFix is one machine-applicable resolution of a finding: apply
+// every edit (byte spans into the original file contents) and the
+// diagnostic disappears. Edits within a fix never overlap and are sorted
+// by offset, so a tool can apply them back-to-front without tracking
+// displacement.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// TextEdit replaces the half-open byte range [Offset, End) of File with
+// NewText (Offset == End inserts).
+type TextEdit struct {
+	// File is the path the span indexes into, relativized like
+	// Diagnostic.File.
+	File    string `json:"file"`
+	Offset  int    `json:"offset"`
+	End     int    `json:"end"`
+	NewText string `json:"new_text"`
+}
+
+// ApplyEdits returns src with the edits applied. Edits use offsets into
+// the original src, so they are applied in reverse offset order. Exact
+// duplicates are applied once: fixes from different findings in one file
+// may each carry the same prerequisite edit (e.g. adding an import).
+func ApplyEdits(src []byte, edits []TextEdit) []byte {
+	sorted := append([]TextEdit(nil), edits...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Offset != sorted[j].Offset {
+			return sorted[i].Offset > sorted[j].Offset
+		}
+		// A replacement and an insertion can share a start offset (the
+		// maporder rewrite inserts the collection loop exactly where the
+		// rewritten `for` begins); the replacement must be applied first
+		// so the insertion ends up before it, not inside it.
+		if sorted[i].End != sorted[j].End {
+			return sorted[i].End > sorted[j].End
+		}
+		return sorted[i].NewText > sorted[j].NewText
+	})
+	out := append([]byte(nil), src...)
+	for i, e := range sorted {
+		if i > 0 && e == sorted[i-1] {
+			continue
+		}
+		if e.Offset < 0 || e.End < e.Offset || e.End > len(out) {
+			continue
+		}
+		out = append(out[:e.Offset], append([]byte(e.NewText), out[e.End:]...)...)
+	}
+	return out
 }
 
 // String renders the conventional file:line:col: analyzer: message form.
@@ -64,6 +120,11 @@ func (p *Pass) InTestFile(pos token.Pos) bool {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportFixf(pos, nil, format, args...)
+}
+
+// ReportFixf records a finding at pos carrying machine-applicable fixes.
+func (p *Pass) ReportFixf(pos token.Pos, fixes []SuggestedFix, format string, args ...any) {
 	pp := p.Fset.Position(pos)
 	p.report(Diagnostic{
 		Analyzer: p.analyzer,
@@ -71,6 +132,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Line:     pp.Line,
 		Col:      pp.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
 	})
 }
 
@@ -219,8 +281,18 @@ func (r *Runner) checkDir(dir, asPath string) ([]Diagnostic, error) {
 				analyzer:   a.Name,
 			}
 			pass.report = func(d Diagnostic) {
-				if rel, err := filepath.Rel(r.Loader.ModuleDir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
-					d.File = filepath.ToSlash(rel)
+				rel := func(p string) string {
+					if rp, err := filepath.Rel(r.Loader.ModuleDir, p); err == nil && !strings.HasPrefix(rp, "..") {
+						return filepath.ToSlash(rp)
+					}
+					return p
+				}
+				d.File = rel(d.File)
+				for fi := range d.Fixes {
+					for ei := range d.Fixes[fi].Edits {
+						e := &d.Fixes[fi].Edits[ei]
+						e.File = rel(e.File)
+					}
 				}
 				diags = append(diags, d)
 			}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"strings"
+)
+
+// This file constructs the machine-applicable fix for maporder findings:
+// the collect-keys-sort-iterate rewrite. For
+//
+//	for k, v := range m { … }
+//
+// it produces edits that insert
+//
+//	kKeys := make([]K, 0, len(m))
+//	for k := range m {
+//		kKeys = append(kKeys, k)
+//	}
+//	sort.Slice(kKeys, func(i, j int) bool { return kKeys[i] < kKeys[j] })
+//
+// before the loop, rewrite the loop header to `for _, k := range kKeys {`,
+// bind `v := m[k]` as the first body statement, and add the "sort" import
+// when the file lacks it. The fix is only offered when it is provably
+// safe to construct: the key is a named identifier of an ordered type
+// renderable in this package, and the map operand is a side-effect-free
+// identifier/selector chain (it is evaluated three times after the
+// rewrite).
+
+// buildMapOrderFix returns the rewrite for rng, or nil when no safe fix
+// exists. file must be the *ast.File containing rng.
+func buildMapOrderFix(pass *Pass, file *ast.File, rng *ast.RangeStmt) []SuggestedFix {
+	if rng.Tok != token.DEFINE {
+		return nil
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	var val *ast.Ident
+	if rng.Value != nil {
+		v, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v.Name != "_" {
+			val = v
+		}
+	}
+	if !pureOperand(rng.X) {
+		return nil
+	}
+	keyType, ok := orderedTypeName(pass, pass.Info.TypeOf(rng.Key))
+	if !ok {
+		return nil
+	}
+	fname := pass.Fset.Position(file.Pos()).Filename
+	src, err := os.ReadFile(fname)
+	if err != nil {
+		return nil
+	}
+	offsetOf := func(pos token.Pos) int { return pass.Fset.Position(pos).Offset }
+	forOff := offsetOf(rng.Pos())
+	lineStart := forOff - (pass.Fset.Position(rng.Pos()).Column - 1)
+	if lineStart < 0 || forOff > len(src) {
+		return nil
+	}
+	indent := string(src[lineStart:forOff])
+	if strings.TrimSpace(indent) != "" {
+		return nil // `for` is not the first token on its line (e.g. one-liner)
+	}
+	mapSrc := string(src[offsetOf(rng.X.Pos()):offsetOf(rng.X.End())])
+	keys := keysName(key.Name)
+
+	var edits []TextEdit
+	if e, ok := importSortEdit(pass, file, src, fname); ok {
+		edits = append(edits, e)
+	}
+
+	// Collection + sort, inserted where the original `for` begins; the
+	// insertion ends with the indent the displaced `for` needs.
+	var pre strings.Builder
+	fmt.Fprintf(&pre, "%s := make([]%s, 0, len(%s))\n", keys, keyType, mapSrc)
+	fmt.Fprintf(&pre, "%sfor %s := range %s {\n", indent, key.Name, mapSrc)
+	fmt.Fprintf(&pre, "%s\t%s = append(%s, %s)\n", indent, keys, keys, key.Name)
+	fmt.Fprintf(&pre, "%s}\n", indent)
+	fmt.Fprintf(&pre, "%ssort.Slice(%s, func(i, j int) bool { return %s[i] < %s[j] })\n%s",
+		indent, keys, keys, keys, indent)
+	edits = append(edits, TextEdit{File: fname, Offset: forOff, End: forOff, NewText: pre.String()})
+
+	// Rewrite the loop header, re-binding the value from the map as the
+	// first body statement when the original loop named it.
+	header := fmt.Sprintf("for _, %s := range %s {", key.Name, keys)
+	if val != nil {
+		header += fmt.Sprintf("\n%s\t%s := %s[%s]", indent, val.Name, mapSrc, key.Name)
+	}
+	lbrace := offsetOf(rng.Body.Lbrace) + 1
+	edits = append(edits, TextEdit{File: fname, Offset: forOff, End: lbrace, NewText: header})
+
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("iterate %s in sorted key order (collect keys, sort, range the slice)", mapSrc),
+		Edits:   edits,
+	}}
+}
+
+// keysName derives the key-slice variable name: k → kKeys, name → nameKeys.
+func keysName(key string) string { return key + "Keys" }
+
+// pureOperand reports whether e is a side-effect-free identifier or
+// selector chain, safe to re-evaluate.
+func pureOperand(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return pureOperand(x.X)
+	}
+	return false
+}
+
+// orderedTypeName renders the key type for the make([]K, …) call. Only
+// ordered types are eligible (the sort uses <), and only types nameable
+// from the package under analysis without adding imports: basic types and
+// named types declared in the same package.
+func orderedTypeName(pass *Pass, t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsOrdered == 0 {
+		return "", false
+	}
+	switch tt := t.(type) {
+	case *types.Basic:
+		return tt.Name(), true
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() == pass.Pkg {
+			return obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+// importSortEdit returns the edit adding `"sort"` to file's imports, or
+// ok=false when the file already imports it.
+func importSortEdit(pass *Pass, file *ast.File, src []byte, fname string) (TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"sort"` {
+			return TextEdit{}, false
+		}
+	}
+	// Prefer slotting into an existing parenthesized import block (gofmt
+	// re-sorts the block when the fix is applied).
+	for _, d := range file.Decls {
+		g, ok := d.(*ast.GenDecl)
+		if !ok || g.Tok != token.IMPORT {
+			continue
+		}
+		if g.Lparen.IsValid() {
+			off := pass.Fset.Position(g.Lparen).Offset + 1
+			return TextEdit{File: fname, Offset: off, End: off, NewText: "\n\t\"sort\""}, true
+		}
+		// Single unparenthesized import: add a second import decl after it.
+		off := pass.Fset.Position(g.End()).Offset
+		return TextEdit{File: fname, Offset: off, End: off, NewText: "\nimport \"sort\""}, true
+	}
+	// No imports at all: insert after the package clause.
+	off := pass.Fset.Position(file.Name.End()).Offset
+	return TextEdit{File: fname, Offset: off, End: off, NewText: "\n\nimport \"sort\""}, true
+}

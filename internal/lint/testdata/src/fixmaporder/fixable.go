@@ -1,0 +1,37 @@
+// Package fixmaporder exercises the maporder suggested-fix builder:
+// every violation in this file should carry a machine-applicable
+// collect-keys-sort-iterate rewrite, while unfixable.go holds the shapes
+// the builder must decline.
+package fixmaporder
+
+import "fmt"
+
+// CountsReport appends in map order: fixable, string key, value used.
+func CountsReport(counts map[string]int) []string {
+	var out []string
+	for name, n := range counts {
+		out = append(out, fmt.Sprintf("%s=%d", name, n))
+	}
+	return out
+}
+
+// Widths concatenates in map order: fixable, int key, key-only range.
+func Widths(widths map[int]bool) string {
+	s := ""
+	for w := range widths {
+		s += fmt.Sprint(w)
+	}
+	return s
+}
+
+// ID is a package-local ordered key type: the fix must name it.
+type ID uint32
+
+// IDs appends in map order: fixable, named key type.
+func IDs(m map[ID]string) []ID {
+	var out []ID
+	for id := range m {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+package fixmaporder
+
+// Pair is an unordered (struct) key type.
+type Pair struct{ A, B int }
+
+// PairSums is flagged, but carries no fix: struct keys have no < for the
+// sort the rewrite relies on.
+func PairSums(m map[Pair]int) []int {
+	var out []int
+	for p, v := range m {
+		out = append(out, p.A+v)
+	}
+	return out
+}
+
+// FromCall is flagged, but carries no fix: the map operand is a call,
+// which the rewrite would have to evaluate three times.
+func FromCall() []string {
+	var out []string
+	for k := range load() {
+		out = append(out, k)
+	}
+	return out
+}
+
+func load() map[string]bool { return nil }

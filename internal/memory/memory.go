@@ -8,7 +8,15 @@
 // independently.
 package memory
 
-import "repro/internal/line"
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/line"
+)
 
 // AccessKind distinguishes the DRAM traffic classes we account.
 type AccessKind int
@@ -61,9 +69,68 @@ const pageLines = 64
 
 // page holds one aligned run of lines plus a presence bitmap (a line
 // reads as zero until first written, as freshly mapped pages do).
+// owned marks pages allocated by this package's pool; pages decoded from
+// an external artifact slab are not owned and must never be recycled
+// (docs/performance.md, "Ownership rules").
 type page struct {
 	present uint64
+	owned   bool
 	lines   [pageLines]line.Line
+}
+
+// pagePool recycles owned pages across stores. Replays materialize one
+// ~4KiB page per 64 working-set lines and drop them all at Release; the
+// pool turns that churn into reuse. A mutex-guarded stack (not a
+// sync.Pool) keeps the behaviour deterministic and testable; the cap
+// bounds idle memory at cap × 4KiB.
+var pagePool struct {
+	mu   sync.Mutex
+	free []*page
+}
+
+// pagePoolCap bounds the freelist (8192 pages ≈ 32MiB, one large
+// replay's working set).
+const pagePoolCap = 8192
+
+// getPage returns a zeroed, owned page from the pool or the heap.
+func getPage() *page {
+	pagePool.mu.Lock()
+	if n := len(pagePool.free); n > 0 {
+		p := pagePool.free[n-1]
+		pagePool.free = pagePool.free[:n-1]
+		pagePool.mu.Unlock()
+		return p
+	}
+	pagePool.mu.Unlock()
+	return &page{owned: true}
+}
+
+// putPages recycles owned pages. Each page is zeroed before it is
+// offered so a recycled page is indistinguishable from a fresh one.
+func putPages(pages []*page) {
+	pagePool.mu.Lock()
+	for _, p := range pages {
+		if len(pagePool.free) >= pagePoolCap {
+			break
+		}
+		*p = page{owned: true}
+		pagePool.free = append(pagePool.free, p)
+	}
+	pagePool.mu.Unlock()
+}
+
+// pagePoolSize reports the freelist length (test hook).
+func pagePoolSize() int {
+	pagePool.mu.Lock()
+	defer pagePool.mu.Unlock()
+	return len(pagePool.free)
+}
+
+// drainPagePool empties the freelist (test hook).
+func drainPagePool() {
+	pagePool.mu.Lock()
+	pagePool.free = nil
+	pagePool.mu.Unlock()
 }
 
 // Store is a sparse DRAM image at cacheline granularity. Unpopulated
@@ -97,7 +164,7 @@ func (s *Store) set(addr line.Addr, data line.Line) {
 	pi, si := locate(addr.LineAddr())
 	p := s.pages[pi]
 	if p == nil {
-		p = &page{}
+		p = getPage()
 		s.pages[pi] = p
 	}
 	if bit := uint64(1) << si; p.present&bit == 0 {
@@ -178,9 +245,136 @@ func (s *Store) Reserve(n int) {
 // Release drops the content pages, keeping the access statistics. Long
 // experiment campaigns call this once a replay is finished and only the
 // counters are still needed; subsequent reads observe zero lines.
+//
+// Pages this store allocated return to the package pool for the next
+// replay. Pages it does not own — the slab backing a store decoded from
+// an on-disk artifact (LoadPages) — are merely dropped: recycling them
+// would hand out storage whose lifetime belongs to the artifact slab
+// (or, in a future mmap-backed decode, to the mapping itself).
 func (s *Store) Release() {
+	// Collect in sorted page-index order so the pool's stack order (and
+	// therefore which physical page a later store receives) never depends
+	// on map iteration order. Recycled pages are zeroed, so this is pure
+	// hygiene — but determinism hygiene is this repository's contract.
+	pis := make([]uint64, 0, len(s.pages))
+	for pi := range s.pages {
+		pis = append(pis, pi)
+	}
+	sort.Slice(pis, func(i, j int) bool { return pis[i] < pis[j] })
+	recycle := make([]*page, 0, len(pis))
+	for _, pi := range pis {
+		if p := s.pages[pi]; p.owned {
+			recycle = append(recycle, p)
+		}
+	}
+	putPages(recycle)
 	s.pages = make(map[uint64]*page)
 	s.populated = 0
+}
+
+// pageBytes is the raw payload size of one serialized page.
+const pageBytes = pageLines * line.Size
+
+// AppendPages serializes the store's content pages onto dst and returns
+// the extended slice. This is the memory.Store section of the artifact
+// codec (internal/artifact): a page-count uvarint, then each populated
+// page in ascending page-index order as a delta-encoded page index, the
+// 8-byte presence bitmap, and the raw 4KiB of line data. Statistics and
+// the latency model are deliberately not part of the image.
+func (s *Store) AppendPages(dst []byte) []byte {
+	pis := make([]uint64, 0, len(s.pages))
+	for pi := range s.pages {
+		pis = append(pis, pi)
+	}
+	sort.Slice(pis, func(i, j int) bool { return pis[i] < pis[j] })
+	dst = binary.AppendUvarint(dst, uint64(len(pis)))
+	prev := uint64(0)
+	for _, pi := range pis {
+		// First page encodes its absolute index (prev starts at 0);
+		// strictly ascending order makes every later delta >= 1.
+		dst = binary.AppendUvarint(dst, pi-prev)
+		p := s.pages[pi]
+		dst = binary.LittleEndian.AppendUint64(dst, p.present)
+		for li := range p.lines {
+			dst = append(dst, p.lines[li][:]...)
+		}
+		prev = pi
+	}
+	return dst
+}
+
+// LoadPages decodes an AppendPages image into s, which must be empty,
+// and returns the unconsumed remainder of data. All decoded pages share
+// one slab owned by the decoded image, not by the page pool: a
+// subsequent Release drops them without recycling (see Release).
+func (s *Store) LoadPages(data []byte) (rest []byte, err error) {
+	if len(s.pages) != 0 {
+		return nil, fmt.Errorf("memory: LoadPages into non-empty store")
+	}
+	n, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, fmt.Errorf("memory: corrupt page count")
+	}
+	data = data[k:]
+	const maxPages = 1 << 28 // 1TiB of pages: far beyond any real image
+	if n > maxPages {
+		return nil, fmt.Errorf("memory: implausible page count %d", n)
+	}
+	if uint64(len(data)) < n*(1+8+pageBytes) {
+		// Cheap lower bound (each page needs ≥ 1 varint byte + bitmap +
+		// payload) so a corrupt count cannot trigger a huge allocation.
+		return nil, fmt.Errorf("memory: truncated page section (%d pages, %d bytes)", n, len(data))
+	}
+	slab := make([]page, n)
+	pi := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		delta, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, fmt.Errorf("memory: corrupt page index at page %d", i)
+		}
+		data = data[k:]
+		if i == 0 {
+			pi = delta
+		} else {
+			if delta == 0 {
+				return nil, fmt.Errorf("memory: page indices not strictly ascending at page %d", i)
+			}
+			next := pi + delta
+			if next < pi {
+				return nil, fmt.Errorf("memory: page index overflow at page %d", i)
+			}
+			pi = next
+		}
+		if len(data) < 8+pageBytes {
+			return nil, fmt.Errorf("memory: truncated page %d", i)
+		}
+		p := &slab[i]
+		p.present = binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		for li := range p.lines {
+			copy(p.lines[li][:], data[:line.Size])
+			data = data[line.Size:]
+		}
+		s.pages[pi] = p
+		s.populated += bits.OnesCount64(p.present)
+	}
+	return data, nil
+}
+
+// PagesEqual reports whether two stores hold identical content images
+// (same populated pages, presence bitmaps, and line data). Statistics
+// are not compared.
+func PagesEqual(a, b *Store) bool {
+	if len(a.pages) != len(b.pages) {
+		return false
+	}
+	for pi, pa := range a.pages {
+		pb, ok := b.pages[pi]
+		if !ok || pa.present != pb.present || pa.lines != pb.lines {
+			return false
+		}
+	}
+	return true
 }
 
 // Stats returns a copy of the access counters.

@@ -69,6 +69,139 @@ func TestLineGranularity(t *testing.T) {
 	}
 }
 
+// fillStore populates n lines with distinct content, leaving partial
+// pages at both ends (base is deliberately mid-page).
+func fillStore(s *Store, base line.Addr, n int) {
+	for i := 0; i < n; i++ {
+		var l line.Line
+		l[0], l[1], l[2] = byte(i), byte(i>>8), 0xA5
+		s.Poke(base+line.Addr(i*line.Size), l)
+	}
+}
+
+func TestPagesRoundtrip(t *testing.T) {
+	cases := []struct {
+		name string
+		fill func(s *Store)
+	}{
+		{"empty", func(s *Store) {}},
+		{"single line", func(s *Store) { fillStore(s, 0x40, 1) }},
+		{"partial pages", func(s *Store) { fillStore(s, 0x7C0, 100) }},
+		{"sparse pages", func(s *Store) {
+			fillStore(s, 0x1000, 3)
+			fillStore(s, 1<<33, 130)
+			fillStore(s, 1<<40, 64)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewStore()
+			c.fill(s)
+			enc := s.AppendPages(nil)
+			d := NewStore()
+			rest, err := d.LoadPages(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d unconsumed bytes", len(rest))
+			}
+			if !PagesEqual(s, d) {
+				t.Fatal("decoded store differs")
+			}
+			if d.Populated() != s.Populated() {
+				t.Fatalf("populated %d != %d", d.Populated(), s.Populated())
+			}
+			// Re-encoding the decoded image must be byte-identical: the
+			// encoding is canonical.
+			if string(d.AppendPages(nil)) != string(enc) {
+				t.Fatal("re-encoding differs")
+			}
+		})
+	}
+}
+
+func TestLoadPagesRejectsCorruptInput(t *testing.T) {
+	s := NewStore()
+	fillStore(s, 0x1000, 70)
+	enc := s.AppendPages(nil)
+	for cut := 0; cut < len(enc); cut += 97 {
+		if _, err := NewStore().LoadPages(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Non-ascending page indices: two pages with delta 0.
+	bad := []byte{2, 5}
+	bad = append(bad, make([]byte, 8+pageBytes)...)
+	bad = append(bad, 0) // delta 0: duplicate page index
+	bad = append(bad, make([]byte, 8+pageBytes)...)
+	if _, err := NewStore().LoadPages(bad); err == nil {
+		t.Fatal("duplicate page index accepted")
+	}
+	if _, err := s.LoadPages(enc); err == nil {
+		t.Fatal("LoadPages into populated store accepted")
+	}
+}
+
+// TestReleaseRecyclesOwnedPages: pages a store allocated return to the
+// pool on Release, zeroed, and a subsequent store reuses them with
+// fresh-page semantics.
+func TestReleaseRecyclesOwnedPages(t *testing.T) {
+	drainPagePool()
+	s := NewStore()
+	fillStore(s, 0, 3*pageLines)
+	s.Release()
+	if got := pagePoolSize(); got != 3 {
+		t.Fatalf("pool holds %d pages after release, want 3", got)
+	}
+	// A fresh store must observe zero lines even on recycled pages.
+	f := NewStore()
+	if got := f.Peek(0); !got.IsZero() {
+		t.Fatal("unwritten line nonzero")
+	}
+	var l line.Line
+	l[9] = 1
+	f.Poke(0, l)
+	if pagePoolSize() != 2 {
+		t.Fatal("poke did not draw from the pool")
+	}
+	if neighbour := f.Peek(line.Size); f.Peek(0) != l || !neighbour.IsZero() {
+		t.Fatal("recycled page not equivalent to fresh")
+	}
+}
+
+// TestReleaseDoesNotRecycleForeignPages is the regression test for the
+// artifact-cache ownership rule: a store decoded from an artifact image
+// is backed by the decode slab, and Release must drop — never pool —
+// those pages, or a later store would write into slab storage it does
+// not own.
+func TestReleaseDoesNotRecycleForeignPages(t *testing.T) {
+	src := NewStore()
+	fillStore(src, 0x2000, 5*pageLines)
+	enc := src.AppendPages(nil)
+
+	d := NewStore()
+	if _, err := d.LoadPages(enc); err != nil {
+		t.Fatal(err)
+	}
+	drainPagePool()
+	d.Release()
+	if got := pagePoolSize(); got != 0 {
+		t.Fatalf("release of artifact-backed store pooled %d foreign pages", got)
+	}
+	// A store that mixes loaded pages with pages it allocated itself
+	// recycles only its own.
+	m := NewStore()
+	if _, err := m.LoadPages(enc); err != nil {
+		t.Fatal(err)
+	}
+	fillStore(m, 1<<40, 2*pageLines) // far from the loaded image: new pages
+	m.Release()
+	if got := pagePoolSize(); got != 2 {
+		t.Fatalf("mixed-ownership release pooled %d pages, want 2", got)
+	}
+}
+
 func TestResetStats(t *testing.T) {
 	s := NewStore()
 	s.Read(0, Fill)

@@ -30,6 +30,12 @@ import (
 type LineGen interface {
 	// Line returns the content of line i at the given version.
 	Line(i int, version uint32) line.Line
+	// AppendKey appends a canonical binary descriptor of the generator —
+	// a type tag plus every parameter its output depends on — onto dst.
+	// The artifact cache (internal/artifact) hashes the descriptor into
+	// the content address of a recording, so any change to a generator's
+	// parameters must change its key or stale recordings would be loaded.
+	AppendKey(dst []byte) []byte
 }
 
 // lineRNG derives a deterministic per-(line, version) generator. It
@@ -433,4 +439,67 @@ func (g *RandomGen) Line(i int, version uint32) line.Line {
 		binary.LittleEndian.PutUint64(l[k:], rng.Uint64())
 	}
 	return l
+}
+
+// keyU64 appends fixed-width words onto a generator key. Fixed width
+// (rather than varint) keeps descriptors trivially unambiguous.
+func keyU64(dst []byte, vs ...uint64) []byte {
+	for _, v := range vs {
+		dst = binary.LittleEndian.AppendUint64(dst, v)
+	}
+	return dst
+}
+
+// keyString appends a length-prefixed string onto a generator key.
+func keyString(dst []byte, s string) []byte {
+	dst = keyU64(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendKey implements LineGen.
+func (g *RecordsGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'R')
+	dst = keyU64(dst, g.rngSeed, uint64(g.RecordSize), uint64(g.ProtoRun),
+		uint64(len(g.protos)), uint64(len(g.Fields)))
+	for _, f := range g.Fields {
+		dst = keyU64(dst, uint64(f.Width), uint64(f.Kind), uint64(f.VarBytes),
+			math.Float64bits(f.MutProb))
+	}
+	return dst
+}
+
+// AppendKey implements LineGen.
+func (g *DupPoolGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'D')
+	return keyU64(dst, g.seed, uint64(len(g.pool)))
+}
+
+// AppendKey implements LineGen.
+func (g *ZeroGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'Z')
+	return keyU64(dst, g.seed, math.Float64bits(g.DirtyFrac), uint64(g.DirtyMax))
+}
+
+// AppendKey implements LineGen.
+func (g *ArrayGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'A')
+	return keyU64(dst, g.seed, uint64(g.ElemWidth), uint64(g.Bases),
+		g.Base, g.BaseStep, g.Delta)
+}
+
+// AppendKey implements LineGen.
+func (m *MixGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'M')
+	dst = keyU64(dst, m.seed, uint64(len(m.gens)))
+	for i, g := range m.gens {
+		dst = keyU64(dst, math.Float64bits(m.cum[i]))
+		dst = g.AppendKey(dst)
+	}
+	return dst
+}
+
+// AppendKey implements LineGen.
+func (g *RandomGen) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'r')
+	return keyU64(dst, g.seed)
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/memory"
@@ -26,6 +27,29 @@ func (p Profile) Generate(accesses int) *Generated {
 	img := memory.NewStore()
 	s := newStream(p.Seed, p.Regions, p.Pattern, accesses, img)
 	return &Generated{Image: img, Stream: s}
+}
+
+// AppendKey appends a canonical binary descriptor of everything the
+// profile's generated trace depends on. The artifact cache hashes it into
+// a recording's content address, so every parameter that influences
+// Generate must be included (Sensitive is reporting metadata only and is
+// deliberately excluded).
+func (p Profile) AppendKey(dst []byte) []byte {
+	dst = keyString(dst, p.Name)
+	dst = keyU64(dst, p.Seed,
+		math.Float64bits(p.Pattern.SeqFraction),
+		math.Float64bits(p.Pattern.Skew),
+		math.Float64bits(p.Pattern.WriteFraction),
+		math.Float64bits(p.Pattern.GapMean),
+		uint64(p.Pattern.PhaseEvery), uint64(p.Pattern.PhaseGroups),
+		uint64(len(p.Regions)))
+	for _, r := range p.Regions {
+		dst = keyString(dst, r.Name)
+		dst = keyU64(dst, uint64(r.Lines), math.Float64bits(r.Weight),
+			uint64(int64(r.Group)))
+		dst = r.Gen.AppendKey(dst)
+	}
+	return dst
 }
 
 // Field constructors: expected per-record diff bytes against another
