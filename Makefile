@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json cache-identity clean-cache
+.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json bench-diff cache-identity clean-cache
 
 ci: fmtcheck vet lint build test race benchsmoke cache-identity
 
@@ -96,3 +96,11 @@ bench:
 # result; docs/performance.md describes the format.
 bench-json:
 	$(GO) run ./cmd/thesaurus -benchjson BENCH_hotpath.json
+
+# Re-measure the hot paths and fail if any kernel or hot-path row regresses
+# more than 15% ns/op (or grows allocs at all) against the committed
+# snapshot. Each run is also appended to results/bench_history.jsonl so the
+# performance trajectory accumulates machine-readably.
+bench-diff:
+	$(GO) run ./cmd/thesaurus -benchdiff BENCH_hotpath.json \
+		-benchhistory results/bench_history.jsonl

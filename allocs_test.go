@@ -121,6 +121,21 @@ func TestBDICacheHitAllocFree(t *testing.T) {
 	}
 }
 
+func TestBaseTablePooledCycleAllocFree(t *testing.T) {
+	// The sweep lifecycle: construct a 2^20-entry base table and release it
+	// back to the per-size pool. After one warm-up cycle (which may seed the
+	// pool) the steady state must be allocation-free — an epoch bump, not a
+	// multi-megabyte make-and-zero per sweep point.
+	mem := memory.NewStore()
+	thesaurus.NewBaseTable(20, mem).Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		thesaurus.NewBaseTable(20, mem).Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("pooled base-table cycle allocates: %.2f allocs/op", allocs)
+	}
+}
+
 func TestLSHFingerprintAllocFree(t *testing.T) {
 	h := lsh.MustNew(lsh.DefaultConfig())
 	l := residentLine(7, 0)

@@ -84,6 +84,9 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment concurrency (0 = GOMAXPROCS, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "emit one JSON document instead of text reports")
 	benchjson := flag.String("benchjson", "", "run hot-path benchmarks and write JSON to file (\"-\" = stdout)")
+	benchdiff := flag.String("benchdiff", "", "re-measure hot-path benchmarks and fail on regression vs this baseline JSON")
+	benchhistory := flag.String("benchhistory", "", "with -benchdiff: append the fresh measurement to this JSONL file")
+	benchnote := flag.String("benchnote", "", "with -benchhistory: free-form context recorded with the measurement")
 	cpuprofile := flag.String("cpuprofile", "", "write pprof CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write pprof heap profile to file")
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default: user cache dir)")
@@ -94,6 +97,12 @@ func main() {
 
 	if *benchjson != "" {
 		if err := runBenchJSON(*benchjson); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *benchdiff != "" {
+		if err := runBenchDiff(*benchdiff, *benchhistory, *benchnote); err != nil {
 			fail(err)
 		}
 		return

@@ -15,6 +15,7 @@
 //	-allow file   allowlist of audited exceptions (default: <module>/lint.allow if present)
 //	-analyzers csv run only the named analyzers
 //	-list         print the suite and exit
+//	-fix          apply machine-applicable suggested fixes in place, then re-lint
 //
 // Exit status: 0 when no unsuppressed findings (stale allowlist entries
 // also fail), 1 on findings, 2 on usage or load errors.
@@ -36,6 +37,7 @@ func main() {
 	allowFlag := flag.String("allow", "", "allowlist file (default <module>/lint.allow if present)")
 	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	fix := flag.Bool("fix", false, "apply machine-applicable suggested fixes in place, then re-lint")
 	flag.Parse()
 
 	if *list {
@@ -90,6 +92,44 @@ func main() {
 	diags, err := runner.CheckDirs(dirs)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *fix {
+		fixed, err := lint.ApplyFixes(moduleDir, diags)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range fixed {
+			fmt.Fprintf(os.Stderr, "thesauruslint: rewrote %s\n", f)
+		}
+		// Re-lint the rewritten sources with a fresh loader so the
+		// remaining diagnostics (and exit status) describe what is still
+		// wrong, not what was just fixed.
+		runner, err = lint.NewRunner(moduleDir)
+		if err != nil {
+			fatal(err)
+		}
+		if *analyzersFlag != "" {
+			runner.Analyzers = nil
+			for _, name := range strings.Split(*analyzersFlag, ",") {
+				a, err := lint.AnalyzerByName(strings.TrimSpace(name))
+				if err != nil {
+					fatal(err)
+				}
+				runner.Analyzers = append(runner.Analyzers, a)
+			}
+		}
+		if allowPath != "" {
+			al, err := lint.ParseAllowlist(allowPath)
+			if err != nil {
+				fatal(err)
+			}
+			runner.Allow = al
+		}
+		diags, err = runner.CheckDirs(dirs)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var stale []*lint.AllowEntry

@@ -207,10 +207,34 @@ func wordAt(l *line.Line, wordBytes, i int) uint64 {
 	}
 }
 
+// narrowHighMasks[k], for the sub-word geometries (4- and 2-byte words),
+// replicates each lane's high-bit span [8·deltaBytes-1, 8·wordBytes-1]
+// across a 64-bit chunk. The immediate (zero-base) test takes the lane
+// as an unsigned value — fitsSigned over a logically-shifted uint64 —
+// so a lane is an immediate iff that whole span is zero, and a chunk
+// whose masked value is 0 has every lane immediate-fitting.
+var narrowHighMasks = func() (m [len(geometries)]uint64) {
+	for k := range geometries {
+		g := geometries[k]
+		if g.wordBytes == 0 || g.wordBytes >= 8 {
+			continue
+		}
+		signBits := uint(g.wordBytes * 8)
+		lane := (uint64(1)<<signBits - 1) &^ (uint64(1)<<uint(8*g.deltaBytes-1) - 1)
+		for s := uint(0); s < 64; s += signBits {
+			m[k] |= lane << s
+		}
+	}
+	return m
+}()
+
 // tryFits reports whether geometry k can encode l, without materializing
 // the deltas: feasibility and size are all the placement paths need.
 func tryFits(l *line.Line, k Kind) bool {
 	g := geometries[k]
+	if g.wordBytes < 8 {
+		return tryFitsNarrow(l, k)
+	}
 	n := line.Size / g.wordBytes
 	haveBase := false
 	var base uint64
@@ -229,6 +253,45 @@ func tryFits(l *line.Line, k Kind) bool {
 		d = d << (64 - signBits) >> (64 - signBits)
 		if !fitsSigned(d, g.deltaBytes) {
 			return false
+		}
+	}
+	return true
+}
+
+// tryFitsNarrow is tryFits for the 4- and 2-byte-word geometries, widened
+// to process one 8-byte chunk per step: one masked compare detects the
+// common all-lanes-immediate chunks (every lane a small unsigned value)
+// and skips them whole; only other chunks fall back to per-lane work, in
+// the same lane order as the scalar loop so the implicit base choice is
+// identical.
+func tryFitsNarrow(l *line.Line, k Kind) bool {
+	g := geometries[k]
+	highMask := narrowHighMasks[k]
+	signBits := uint(g.wordBytes * 8)
+	lanesPerChunk := 8 / g.wordBytes
+	laneMask := uint64(1)<<signBits - 1
+	haveBase := false
+	var base uint64
+	for c := 0; c < line.WordsPerLine; c++ {
+		x := l.Word(c)
+		if x&highMask == 0 {
+			continue
+		}
+		for j := 0; j < lanesPerChunk; j++ {
+			w := (x >> (uint(j) * signBits)) & laneMask
+			sw := int64(w << (64 - signBits) >> (64 - signBits))
+			if fitsSigned(sw, g.deltaBytes) {
+				continue
+			}
+			if !haveBase {
+				base = w
+				haveBase = true
+			}
+			d := int64(w) - int64(base)
+			d = d << (64 - signBits) >> (64 - signBits)
+			if !fitsSigned(d, g.deltaBytes) {
+				return false
+			}
 		}
 	}
 	return true

@@ -195,3 +195,75 @@ func BenchmarkCompress(b *testing.B) {
 		_ = Compress(&l)
 	}
 }
+
+// scalarTryFits is the pre-SWAR per-lane reference for tryFits; the
+// chunk-widened path must agree on every geometry and input.
+func scalarTryFits(l *line.Line, k Kind) bool {
+	g := geometries[k]
+	n := line.Size / g.wordBytes
+	haveBase := false
+	var base uint64
+	signBits := uint(g.wordBytes * 8)
+	for i := 0; i < n; i++ {
+		w := wordAt(l, g.wordBytes, i)
+		sw := int64(w << (64 - signBits) >> (64 - signBits))
+		if fitsSigned(sw, g.deltaBytes) {
+			continue
+		}
+		if !haveBase {
+			base = w
+			haveBase = true
+		}
+		d := int64(w) - int64(base)
+		d = d << (64 - signBits) >> (64 - signBits)
+		if !fitsSigned(d, g.deltaBytes) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTryFitsNarrowMatchesScalar(t *testing.T) {
+	rng := xrand.New(0xbd1)
+	mutate := func(l *line.Line) {
+		switch rng.Intn(4) {
+		case 0: // random content
+			for w := 0; w < line.WordsPerLine; w++ {
+				l.SetWord(w, rng.Uint64())
+			}
+		case 1: // small values per 4-byte lane (B4 immediate territory)
+			for i := 0; i < line.Size; i += 4 {
+				v := uint32(rng.Intn(256)) - uint32(rng.Intn(2))*128
+				l[i] = byte(v)
+				l[i+1], l[i+2], l[i+3] = byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+		case 2: // boundary immediates: exactly ±2^(8D-1) around the fit edge
+			for i := 0; i < line.Size; i += 2 {
+				vals := []uint16{0x007F, 0x0080, 0xFF7F, 0xFF80, 0x7FFF, 0x8000}
+				v := vals[rng.Intn(len(vals))]
+				l[i], l[i+1] = byte(v), byte(v>>8)
+			}
+		default: // mixed: one outlier chunk in an otherwise-small line
+			for i := range l {
+				l[i] = byte(rng.Intn(4))
+			}
+			c := rng.Intn(line.WordsPerLine)
+			l.SetWord(c, rng.Uint64())
+		}
+	}
+	for trial := 0; trial < 4000; trial++ {
+		var l line.Line
+		mutate(&l)
+		for _, k := range deltaKinds {
+			if got, want := tryFits(&l, k), scalarTryFits(&l, k); got != want {
+				t.Fatalf("trial %d kind %v: tryFits=%v scalar=%v line=%v", trial, k, got, want, l)
+			}
+		}
+		// The winning encoding must still round-trip.
+		e := Compress(&l)
+		back, err := Decompress(e)
+		if err != nil || back != l {
+			t.Fatalf("trial %d: round trip failed (%v): %v", trial, e.Kind, err)
+		}
+	}
+}

@@ -78,7 +78,12 @@ type Encoded struct {
 	Format Format
 	Mask   uint64
 	Deltas []byte
-	Raw    line.Line
+	// Raw carries the line verbatim for FormatRaw and FormatIntra. For
+	// every other format its contents are unspecified (reusable
+	// destinations may hold bytes from a previous encoding): the hot
+	// rewrite path would otherwise pay several 64-byte clears per encode
+	// for a field those formats never read.
+	Raw line.Line
 	// IntraBytes is the accounted compressed size for FormatIntra
 	// entries (the line itself is carried in Raw).
 	IntraBytes int
@@ -116,9 +121,15 @@ func (e *Encoded) SetIntra(l *line.Line, sizeBytes int) {
 // encoding without aliasing the scratch buffer or allocating once their
 // buffer has grown to the steady-state diff size.
 func (e *Encoded) CopyFrom(src *Encoded) {
-	deltas := append(e.Deltas[:0], src.Deltas...)
-	*e = *src
-	e.Deltas = deltas
+	e.Deltas = append(e.Deltas[:0], src.Deltas...)
+	e.Format = src.Format
+	e.Mask = src.Mask
+	e.IntraBytes = src.IntraBytes
+	// Raw is unspecified for the remaining formats; skipping the 64-byte
+	// copy matters on the rewrite path, where every write hit lands here.
+	if src.Format == FormatRaw || src.Format == FormatIntra {
+		e.Raw = src.Raw
+	}
 }
 
 // DiffSizeBytes returns the data-array footprint in bytes of a diff with n
@@ -168,47 +179,77 @@ func Encode(l, base *line.Line) Encoded {
 // what keeps (de)compression off the critical path of the simulated
 // access loop (the software mirror of the paper's §5 discipline).
 func EncodeInto(dst *Encoded, l, base *line.Line) {
-	deltas := dst.Deltas[:0]
-	*dst = Encoded{Deltas: deltas}
+	var baseMask uint64
+	if base != nil {
+		baseMask = line.DiffMask(l, base)
+	}
+	encodeWithBaseMask(dst, l, base != nil, baseMask)
+}
+
+// EncodeIntoMasked is EncodeInto for callers that already hold
+// baseMask = line.DiffMask(l, base) for a non-nil base (the write-hit
+// fast path computes that mask anyway to decide whether re-encoding is
+// needed at all). The result is identical to EncodeInto(dst, l, base);
+// passing any other mask is a contract violation.
+func EncodeIntoMasked(dst *Encoded, l *line.Line, baseMask uint64) {
+	encodeWithBaseMask(dst, l, true, baseMask)
+}
+
+// minDiffSegments is the smallest footprint of any diff encoding: the
+// 8-byte mask plus at least one delta rounds to two segments.
+const minDiffSegments = 2
+
+func encodeWithBaseMask(dst *Encoded, l *line.Line, haveBase bool, baseMask uint64) {
+	// Raw is written only if the line actually ends up stored raw: the
+	// common base+diff rewrite otherwise pays three 64-byte stores per
+	// encode (zeroing, staging the raw fallback, re-zeroing) for a field
+	// it never uses.
+	dst.Deltas = dst.Deltas[:0]
+	dst.Mask = 0
+	dst.IntraBytes = 0
 	if l.IsZero() {
 		dst.Format = FormatAllZero
 		return
 	}
 	dst.Format = FormatRaw
-	dst.Raw = *l
 	bestSeg := SegmentsPerLine
 	// base+diff is evaluated first so it wins segment-count ties against
 	// 0+diff: staying in the cluster keeps the clusteroid referenced and
 	// avoids re-forming it later.
-	if base != nil {
-		if l.Equal(base) {
+	if haveBase {
+		if baseMask == 0 {
 			dst.Format = FormatBaseOnly
-			dst.Raw = line.Zero
 			return
 		}
-		baseDiff := line.DiffBytes(l, base)
-		if s := diffSegments(baseDiff); s < bestSeg {
-			encodeDiffInto(dst, FormatBaseDiff, l, base)
+		if s := diffSegments(bits.OnesCount64(baseMask)); s < bestSeg {
+			encodeDiffInto(dst, FormatBaseDiff, l, baseMask)
 			bestSeg = s
 		}
 	}
-	zeroDiff := l.PopCountNonZero()
-	if s := diffSegments(zeroDiff); s < bestSeg {
-		encodeDiffInto(dst, FormatZeroDiff, l, &line.Zero)
+	// 0+diff can never beat a minimum-size base+diff: the line is known
+	// non-zero here, so its 0+diff also occupies ≥ minDiffSegments, and
+	// base+diff wins ties. Skip the non-zero scan entirely.
+	if bestSeg > minDiffSegments {
+		zeroMask := l.NonZeroMask()
+		if s := diffSegments(bits.OnesCount64(zeroMask)); s < bestSeg {
+			encodeDiffInto(dst, FormatZeroDiff, l, zeroMask)
+		}
+	}
+	if dst.Format == FormatRaw {
+		dst.Raw = *l
 	}
 }
 
-// encodeDiffInto builds the mask+deltas representation of l against ref
-// in *dst, reusing dst.Deltas capacity. Set bits are visited directly
-// with TrailingZeros64 instead of scanning all 64 byte positions: diffs
-// average well under 16 bytes (Fig. 18), so the loop runs per differing
-// byte, not per position.
-func encodeDiffInto(dst *Encoded, f Format, l, ref *line.Line) {
+// encodeDiffInto builds the mask+deltas representation of l under the
+// given (caller-computed) diff mask, reusing dst.Deltas capacity. Set
+// bits are visited directly with TrailingZeros64 instead of scanning all
+// 64 byte positions: diffs average well under 16 bytes (Fig. 18), so the
+// loop runs per differing byte, not per position.
+func encodeDiffInto(dst *Encoded, f Format, l *line.Line, mask uint64) {
 	dst.Format = f
-	dst.Mask = line.DiffMask(l, ref)
-	dst.Raw = line.Zero
+	dst.Mask = mask
 	dst.Deltas = dst.Deltas[:0]
-	for m := dst.Mask; m != 0; m &= m - 1 {
+	for m := mask; m != 0; m &= m - 1 {
 		dst.Deltas = append(dst.Deltas, l[bits.TrailingZeros64(m)])
 	}
 }

@@ -233,7 +233,7 @@ func TestEncodeDiffMatchesReference(t *testing.T) {
 			l[perm[j]] ^= byte(1 + rng.Intn(255))
 		}
 		var got Encoded
-		encodeDiffInto(&got, FormatBaseDiff, &l, &ref)
+		encodeDiffInto(&got, FormatBaseDiff, &l, line.DiffMask(&l, &ref))
 		want := naiveEncodeDiff(FormatBaseDiff, &l, &ref)
 		if got.Format != want.Format || got.Mask != want.Mask ||
 			!bytesEqual(got.Deltas, want.Deltas) {
@@ -289,6 +289,88 @@ func BenchmarkDecode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Decode(enc, &base); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// naiveEncode is the pre-SWAR reference encoder: two independent mask
+// computations, no early exit, a positional delta scan. The optimized
+// EncodeInto/EncodeIntoMasked must match it field-for-field.
+func naiveEncode(l, base *line.Line) Encoded {
+	var e Encoded
+	if l.IsZero() {
+		e.Format = FormatAllZero
+		return e
+	}
+	e.Format = FormatRaw
+	e.Raw = *l
+	bestSeg := SegmentsPerLine
+	if base != nil {
+		if l.Equal(base) {
+			return Encoded{Format: FormatBaseOnly}
+		}
+		if s := diffSegments(line.DiffBytes(l, base)); s < bestSeg {
+			e = naiveEncodeDiff(FormatBaseDiff, l, base)
+			bestSeg = s
+		}
+	}
+	if s := diffSegments(l.PopCountNonZero()); s < bestSeg {
+		e = naiveEncodeDiff(FormatZeroDiff, l, &line.Zero)
+	}
+	return e
+}
+
+func encodedEqual(a, b *Encoded) bool {
+	if a.Format != b.Format || a.Mask != b.Mask || !bytesEqual(a.Deltas, b.Deltas) {
+		return false
+	}
+	// Raw is unspecified outside the raw-carrying formats.
+	if a.Format == FormatRaw || a.Format == FormatIntra {
+		return a.Raw == b.Raw
+	}
+	return true
+}
+
+func TestEncodeIntoMatchesNaiveReference(t *testing.T) {
+	rng := xrand.New(0xe2c0de)
+	var dst, masked Encoded
+	for trial := 0; trial < 4000; trial++ {
+		var base line.Line
+		for w := 0; w < line.WordsPerLine; w++ {
+			base.SetWord(w, rng.Uint64())
+		}
+		l := base
+		switch rng.Intn(5) {
+		case 0: // unrelated content
+			for w := 0; w < line.WordsPerLine; w++ {
+				l.SetWord(w, rng.Uint64())
+			}
+		case 1: // zero line
+			l = line.Zero
+		case 2: // sparse line (0+diff territory)
+			l = line.Zero
+			for j, n := 0, rng.Intn(6); j < n; j++ {
+				l[rng.Intn(line.Size)] = byte(rng.Uint32())
+			}
+		case 3: // equal to base
+		default: // small diff from base
+			for j, n := 0, 1+rng.Intn(12); j < n; j++ {
+				l[rng.Intn(line.Size)] ^= byte(1 + rng.Intn(255))
+			}
+		}
+		want := naiveEncode(&l, &base)
+		EncodeInto(&dst, &l, &base)
+		if !encodedEqual(&dst, &want) {
+			t.Fatalf("trial %d: EncodeInto %+v, want %+v", trial, dst, want)
+		}
+		EncodeIntoMasked(&masked, &l, line.DiffMask(&l, &base))
+		if !encodedEqual(&masked, &want) {
+			t.Fatalf("trial %d: EncodeIntoMasked %+v, want %+v", trial, masked, want)
+		}
+		wantNil := naiveEncode(&l, nil)
+		EncodeInto(&dst, &l, nil)
+		if !encodedEqual(&dst, &wantNil) {
+			t.Fatalf("trial %d: EncodeInto(nil base) %+v, want %+v", trial, dst, wantNil)
 		}
 	}
 }

@@ -124,6 +124,24 @@ func HammingBits(l, m *Line) int {
 	return n
 }
 
+// NonZeroMask returns a 64-bit mask with bit i set iff byte i of l is
+// non-zero: DiffMask against the all-zero line, without the XOR pass.
+func (l *Line) NonZeroMask() uint64 {
+	var mask uint64
+	for i := 0; i < WordsPerLine; i++ {
+		x := binary.LittleEndian.Uint64(l[i*8:])
+		// Fold each byte's bits down to its LSB.
+		x |= x >> 4
+		x |= x >> 2
+		x |= x >> 1
+		x &= 0x0101010101010101
+		// Gather the eight LSBs into the low byte.
+		b := (x * 0x0102040810204080) >> 56
+		mask |= b << uint(8*i)
+	}
+	return mask
+}
+
 // PopCountNonZero returns the number of non-zero bytes in l, i.e. the
 // diff-byte count against the all-zero line. Like DiffMask it works
 // word-at-a-time: collapse each non-zero byte to its LSB with SWAR

@@ -192,3 +192,25 @@ func BenchmarkDiffMask(b *testing.B) {
 		_ = DiffMask(&x, &y)
 	}
 }
+
+func TestNonZeroMaskMatchesReference(t *testing.T) {
+	if err := quick.Check(func(l Line) bool {
+		var want uint64
+		for i := 0; i < Size; i++ {
+			if l[i] != 0 {
+				want |= 1 << uint(i)
+			}
+		}
+		return l.NonZeroMask() == want && DiffMask(&l, &Zero) == want
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if Zero.NonZeroMask() != 0 {
+		t.Fatal("NonZeroMask of the zero line is non-zero")
+	}
+	var sparse Line
+	sparse[0], sparse[63] = 1, 2
+	if sparse.NonZeroMask() != 1|1<<63 {
+		t.Fatalf("sparse NonZeroMask = %#x", sparse.NonZeroMask())
+	}
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix carried by unsuppressed
+// diagnostics, rewriting the affected files in place. All edits for one
+// file are applied in a single pass over its original contents (spans
+// index the pre-edit bytes), and the result is gofmt-formatted before it
+// is written back — a fix that does not parse aborts without touching
+// the file. Relative edit paths resolve against moduleDir. Returns the
+// rewritten paths in sorted order.
+func ApplyFixes(moduleDir string, diags []Diagnostic) ([]string, error) {
+	perFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				perFile[e.File] = append(perFile[e.File], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, rel := range files {
+		path := rel
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(moduleDir, rel)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %w", err)
+		}
+		applied := ApplyEdits(src, perFile[rel])
+		formatted, err := format.Source(applied)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixes for %s do not produce valid Go: %w", rel, err)
+		}
+		if err := os.WriteFile(path, formatted, 0o644); err != nil {
+			return nil, fmt.Errorf("lint: apply fixes: %w", err)
+		}
+	}
+	return files, nil
+}

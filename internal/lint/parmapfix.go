@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+)
+
+// This file constructs the machine-applicable fix for the parmap
+// append-to-captured-slice finding: the write-by-index rewrite. For
+//
+//	dst := make([]T, 0, n)
+//	…
+//	go func(i int) {          // or a ParMap callback
+//		dst = append(dst, expr)
+//	}(i)
+//
+// it produces edits that change the declaration to `make([]T, n)` and the
+// append to `dst[i] = expr`, turning the racing, completion-order-
+// dependent append into the sanctioned disjoint-slot write. The fix is
+// only offered in the provably safe narrow case: the closure takes
+// exactly one int parameter (the worker index), the slice is declared in
+// the same file as `make` with literal length 0 and an explicit capacity,
+// and the flagged append is the only write to the slice anywhere in the
+// package besides its declaration.
+
+// buildParMapAppendFix returns the write-by-index rewrite for the
+// statement s (`dst = append(dst, expr)` inside concurrent closure fl,
+// with dst resolving to obj), or nil when no safe fix exists.
+func buildParMapAppendFix(pass *Pass, fl *ast.FuncLit, s *ast.AssignStmt, obj types.Object) []SuggestedFix {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 || s.Tok != token.ASSIGN {
+		return nil
+	}
+	lhs, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+	if !ok || objectOf(pass.Info, lhs) != obj {
+		return nil
+	}
+	call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isAppend(pass.Info, call) || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return nil
+	}
+	if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); !ok || objectOf(pass.Info, arg0) != obj {
+		return nil
+	}
+	// The appended value may not read the slice itself: after the rewrite
+	// that read would race with the other workers' slot writes.
+	if mentionsObject(pass.Info, call.Args[1], obj) {
+		return nil
+	}
+	idx := soleIntParam(pass, fl)
+	if idx == "" {
+		return nil
+	}
+	file := fileOf(pass, s.Pos())
+	if file == nil {
+		return nil
+	}
+	decl := capacityOnlyMakeDecl(pass, file, obj)
+	if decl == nil {
+		return nil
+	}
+	if countWrites(pass, obj, decl, s) != 0 {
+		return nil
+	}
+
+	fname := pass.Fset.Position(file.Pos()).Filename
+	src, err := os.ReadFile(fname)
+	if err != nil {
+		return nil
+	}
+	offsetOf := func(pos token.Pos) int { return pass.Fset.Position(pos).Offset }
+	if offsetOf(s.End()) > len(src) || offsetOf(decl.End()) > len(src) {
+		return nil
+	}
+	mk := decl.Rhs[0].(*ast.CallExpr)
+	exprSrc := string(src[offsetOf(call.Args[1].Pos()):offsetOf(call.Args[1].End())])
+
+	edits := []TextEdit{
+		// make([]T, 0, n) → make([]T, n): drop the zero length so every
+		// index the workers write is in range.
+		{File: fname, Offset: offsetOf(mk.Args[1].Pos()), End: offsetOf(mk.Args[2].Pos()), NewText: ""},
+		// dst = append(dst, expr) → dst[i] = expr.
+		{File: fname, Offset: offsetOf(s.Pos()), End: offsetOf(s.End()),
+			NewText: fmt.Sprintf("%s[%s] = %s", lhs.Name, idx, exprSrc)},
+	}
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("write %s by worker index: make([]…, n) and %s[%s] = …", lhs.Name, lhs.Name, idx),
+		Edits:   edits,
+	}}
+}
+
+// soleIntParam returns the name of fl's only parameter when it is a
+// single named int (the conventional worker index), else "".
+func soleIntParam(pass *Pass, fl *ast.FuncLit) string {
+	params := fl.Type.Params
+	if params == nil || len(params.List) != 1 || len(params.List[0].Names) != 1 {
+		return ""
+	}
+	name := params.List[0].Names[0]
+	if name.Name == "_" {
+		return ""
+	}
+	t := pass.Info.TypeOf(params.List[0].Type)
+	if b, ok := t.(*types.Basic); !ok || b.Kind() != types.Int {
+		return ""
+	}
+	return name.Name
+}
+
+// capacityOnlyMakeDecl finds obj's declaration in file when it has the
+// shape `dst := make([]T, 0, n)`: a define of exactly obj whose value is
+// a three-argument make with literal length 0.
+func capacityOnlyMakeDecl(pass *Pass, file *ast.File, obj types.Object) *ast.AssignStmt {
+	var found *ast.AssignStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || pass.Info.Defs[id] != obj {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || len(call.Args) != 3 {
+			return true
+		}
+		if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fn.Name != "make" {
+			return true
+		} else if b, ok := objectOf(pass.Info, fn).(*types.Builtin); !ok || b.Name() != "make" {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); !ok || lit.Value != "0" {
+			return true
+		}
+		found = as
+		return false
+	})
+	return found
+}
+
+// countWrites counts assignments and inc/dec statements targeting obj
+// across the package, excluding the two statements of the rewrite
+// (declaration and flagged append). Any other write makes the length
+// rewrite unsafe.
+func countWrites(pass *Pass, obj types.Object, exclude ...ast.Stmt) int {
+	excluded := func(n ast.Node) bool {
+		for _, e := range exclude {
+			if n == e {
+				return true
+			}
+		}
+		return false
+	}
+	writes := 0
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if excluded(st) {
+					return true
+				}
+				for _, l := range st.Lhs {
+					if id := rootIdent(l); id != nil && objectOf(pass.Info, id) == obj {
+						writes++
+					}
+				}
+			case *ast.IncDecStmt:
+				if id := rootIdent(st.X); !excluded(st) && id != nil && objectOf(pass.Info, id) == obj {
+					writes++
+				}
+			}
+			return true
+		})
+	}
+	return writes
+}
+
+// fileOf returns the *ast.File in pass containing pos.
+func fileOf(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// parMapFixtureDiags lints the fixparmap fixture from dir and returns its
+// parmap-discipline findings.
+func parMapFixtureDiags(t *testing.T, r *Runner, dir string) []Diagnostic {
+	t.Helper()
+	diags, err := r.CheckDirAs(dir, "repro/internal/fixparmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "parmap-discipline" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestParMapFixGolden pins the exact suggested write-by-index fixes as
+// JSON. The fixable append must carry exactly one fix; the declined
+// shapes (no index parameter, second write, no capacity) must carry none.
+func TestParMapFixGolden(t *testing.T) {
+	r := testRunner(t)
+	diags := parMapFixtureDiags(t, r, filepath.Join("testdata", "src", "fixparmap"))
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no parmap-discipline findings")
+	}
+	for i := range diags {
+		diags[i].File = filepath.Base(diags[i].File)
+		for fi := range diags[i].Fixes {
+			for ei := range diags[i].Fixes[fi].Edits {
+				e := &diags[i].Fixes[fi].Edits[ei]
+				e.File = filepath.Base(e.File)
+			}
+		}
+		base := diags[i].File
+		nfix := len(diags[i].Fixes)
+		if base == "unfixable.go" && nfix != 0 {
+			t.Errorf("%s:%d: unfixable shape got %d fixes", base, diags[i].Line, nfix)
+		}
+		if base != "unfixable.go" && nfix != 1 {
+			t.Errorf("%s:%d: fixable shape got %d fixes, want 1", base, diags[i].Line, nfix)
+		}
+	}
+	got, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "fixparmap", "fixes.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run ParMapFixGolden -update ./internal/lint` to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("fixes differ from %s\ngot:\n%s", golden, got)
+	}
+}
+
+// TestParMapFixApplyAndRelint runs the whole -fix pipeline on a copy of
+// the fixture: lint, ApplyFixes in place, compare the rewritten file
+// against its golden, and re-lint to prove the fixed append is silenced
+// while the declined shapes still report.
+func TestParMapFixApplyAndRelint(t *testing.T) {
+	r := testRunner(t)
+	pkgDir := filepath.Join(t.TempDir(), "fixparmap")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	srcDir := filepath.Join("testdata", "src", "fixparmap")
+	names, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range names {
+		src, err := os.ReadFile(filepath.Join(srcDir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, de.Name()), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	diags := parMapFixtureDiags(t, r, pkgDir)
+	fixed, err := ApplyFixes(r.Loader.ModuleDir, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != 1 || filepath.Base(fixed[0]) != "fixable.go" {
+		t.Fatalf("ApplyFixes rewrote %v, want exactly fixable.go", fixed)
+	}
+
+	applied, err := os.ReadFile(filepath.Join(pkgDir, "fixable.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fixparmap", "fixable.go.applied")
+	if *update {
+		if err := os.WriteFile(golden, applied, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run ParMapFixApplyAndRelint -update ./internal/lint` to create)", err)
+	}
+	if string(applied) != string(want) {
+		t.Errorf("applied result differs from %s\ngot:\n%s", golden, applied)
+	}
+
+	// Re-lint the rewritten package: the fixed worker loop must be clean,
+	// the declined shapes still flagged (by design, without fixes).
+	relint := parMapFixtureDiags(t, r, pkgDir)
+	for _, d := range relint {
+		switch filepath.Base(d.File) {
+		case "fixable.go":
+			t.Errorf("applied fix did not silence the finding: %s", d)
+		case "unfixable.go":
+			if len(d.Fixes) != 0 {
+				t.Errorf("declined shape grew a fix after rewrite: %s", d)
+			}
+		}
+	}
+	if len(relint) == 0 {
+		t.Error("re-lint found nothing: unfixable.go shapes should still report")
+	}
+}

@@ -1,0 +1,23 @@
+// Package fixparmap exercises the parmap-discipline suggested-fix
+// builder: the violation in this file should carry the machine-applicable
+// write-by-index rewrite, while unfixable.go holds the shapes the builder
+// must decline.
+package fixparmap
+
+import "sync"
+
+// Squares gathers worker results by appending to a captured slice:
+// fixable — single int-parameter closure, capacity-only make, sole write.
+func Squares(n int) []int {
+	out := make([]int, 0, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, i*i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

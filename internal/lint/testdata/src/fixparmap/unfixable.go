@@ -1,0 +1,52 @@
+package fixparmap
+
+import "sync"
+
+// NoIndex appends from a closure with no worker-index parameter: flagged,
+// but no slot to write into, so no fix is offered.
+func NoIndex(n int) []int {
+	out := make([]int, 0, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out = append(out, 1)
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SecondWrite appends twice per worker: the length rewrite would drop
+// half the results, so no fix is offered for either append.
+func SecondWrite(n int) []int {
+	out := make([]int, 0, 2*n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, i)
+			out = append(out, -i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// NoCapacity declares the slice without a capacity: the rewrite cannot
+// know the slot count, so no fix is offered.
+func NoCapacity(n int) []int {
+	var out []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out = append(out, i)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

@@ -80,13 +80,36 @@ type Hasher struct {
 	cfg  Config
 	taps []uint8
 	rows []rowView
+	// rowsByByte[b] has bit r set iff row r taps byte b: the inverse index
+	// that lets FingerprintDelta map changed byte positions to the rows
+	// that must be re-projected. MaxBits ≤ 32 keeps it in a uint32.
+	rowsByByte [line.Size]uint32
 }
 
 // rowView is one projection row: views into the flat tap array for the
-// +1 and -1 coefficient positions.
+// +1 and -1 coefficient positions, plus optional SWAR word programs for
+// the words of the line that carry wordOpMinTaps or more taps. Dense rows
+// (ablation configurations with tens of non-zeros) collapse several
+// per-byte adds into one masked 8-byte sum; the paper's sparse default
+// (6 taps over 8 words) stays on the scalar path.
 type rowView struct {
 	plus, minus []uint8
+	words       []wordOp
 }
+
+// wordOp is one SWAR step of a row program: a masked signed byte sum over
+// one 8-byte word of the line. The masks hold 0xFF in each selected
+// byte lane.
+type wordOp struct {
+	word      uint8
+	plusMask  uint64
+	minusMask uint64
+}
+
+// wordOpMinTaps is the tap density at which a word is worth a SWAR step:
+// below four taps the scalar byte loads win (one load+add per tap versus
+// one load plus ~a dozen ALU ops for the masked fold).
+const wordOpMinTaps = 4
 
 // New builds a Hasher from cfg. The projection matrix is derived
 // deterministically from cfg.Seed.
@@ -106,6 +129,7 @@ func New(cfg Config) (*Hasher, error) {
 		np, nm := 0, 0
 		for j := 0; j < cfg.NonZeros; j++ {
 			col := uint8(perm[j])
+			h.rowsByByte[col] |= 1 << uint(i)
 			if rng.Bool(0.5) {
 				row[np] = col
 				np++
@@ -114,9 +138,62 @@ func New(cfg Config) (*Hasher, error) {
 				row[len(row)-nm] = col
 			}
 		}
-		h.rows[i] = rowView{plus: row[:np:np], minus: row[np:]}
+		h.rows[i] = buildRow(row, np)
 	}
 	return h, nil
+}
+
+// buildRow partitions one drawn row (np +1 taps at the front, -1 taps at
+// the back) into SWAR word programs for dense words and residual scalar
+// taps, repacking the scalar taps into the same flat storage plus-first.
+// Reordering taps within a row is sound: the row sum is an integer
+// addition, which commutes. The rng draw sequence is untouched, so
+// fingerprints are bit-identical to the scalar construction.
+func buildRow(row []uint8, np int) rowView {
+	var perWord [line.WordsPerLine]int
+	for _, t := range row {
+		perWord[int(t)/8]++
+	}
+	dense := false
+	for _, n := range perWord {
+		if n >= wordOpMinTaps {
+			dense = true
+			break
+		}
+	}
+	if !dense {
+		return rowView{plus: row[:np:np], minus: row[np:]}
+	}
+	var opByWord [line.WordsPerLine]int
+	var ops []wordOp
+	for w, n := range perWord {
+		opByWord[w] = -1
+		if n >= wordOpMinTaps {
+			opByWord[w] = len(ops)
+			ops = append(ops, wordOp{word: uint8(w)})
+		}
+	}
+	tmp := make([]uint8, len(row))
+	copy(tmp, row)
+	snp := 0
+	for _, t := range tmp[:np] {
+		if k := opByWord[int(t)/8]; k >= 0 {
+			ops[k].plusMask |= uint64(0xFF) << uint(8*(int(t)%8))
+		} else {
+			row[snp] = t
+			snp++
+		}
+	}
+	snm := 0
+	for _, t := range tmp[np:] {
+		if k := opByWord[int(t)/8]; k >= 0 {
+			ops[k].minusMask |= uint64(0xFF) << uint(8*(int(t)%8))
+		} else {
+			snm++
+			row[len(row)-snm] = t
+		}
+	}
+	return rowView{plus: row[:snp:snp], minus: row[len(row)-snm:], words: ops}
 }
 
 // MustNew is New but panics on configuration errors; for use with known
@@ -149,9 +226,16 @@ func (h *Hasher) NumFingerprints() int { return 1 << uint(h.cfg.Bits) }
 // single XOR of the top bit per operand in hardware.
 func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 	var fp Fingerprint
+	// The row-sum body is open-coded here (rather than calling rowSum) to
+	// spare the hot path one call per row; keep the two in sync.
 	for i := range h.rows {
 		r := &h.rows[i]
 		sum := 0
+		for k := range r.words {
+			op := &r.words[k]
+			w := l.Word(int(op.word))
+			sum += maskedSignedByteSum(w, op.plusMask) - maskedSignedByteSum(w, op.minusMask)
+		}
 		for _, t := range r.plus {
 			sum += int(int8(l[t]))
 		}
@@ -165,21 +249,68 @@ func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 	return fp
 }
 
+// FingerprintDelta returns Fingerprint(l) given old = the fingerprint of
+// some previous line content and changedMask, a byte mask covering every
+// position at which l differs from that content (extra set bits are
+// allowed; they only cost work). Rows with no tap in a changed byte keep
+// their old bit; the touched rows are re-projected from l. The write-hit
+// fast path uses this to turn a full Bits-row projection into one or two
+// row sums when few bytes changed.
+func (h *Hasher) FingerprintDelta(old Fingerprint, l *line.Line, changedMask uint64) Fingerprint {
+	var touched uint32
+	for m := changedMask; m != 0; m &= m - 1 {
+		touched |= h.rowsByByte[bits.TrailingZeros64(m)]
+	}
+	fp := old
+	for t := touched; t != 0; t &= t - 1 {
+		i := bits.TrailingZeros32(t)
+		if rowSum(&h.rows[i], l) > 0 {
+			fp |= 1 << uint(i)
+		} else {
+			fp &^= 1 << uint(i)
+		}
+	}
+	return fp
+}
+
+// rowSum is the signed projection sum of one row: SWAR word programs for
+// the dense words, scalar taps for the rest. Fingerprint open-codes the
+// same body.
+func rowSum(r *rowView, l *line.Line) int {
+	sum := 0
+	for k := range r.words {
+		op := &r.words[k]
+		w := l.Word(int(op.word))
+		sum += maskedSignedByteSum(w, op.plusMask) - maskedSignedByteSum(w, op.minusMask)
+	}
+	for _, t := range r.plus {
+		sum += int(int8(l[t]))
+	}
+	for _, t := range r.minus {
+		sum -= int(int8(l[t]))
+	}
+	return sum
+}
+
+// maskedSignedByteSum sums the bytes of w selected by mask (0xFF per
+// selected lane) as signed two's-complement values: a pairwise SWAR fold
+// gives the unsigned sum, and each selected byte with its top bit set
+// contributes a -256 correction.
+func maskedSignedByteSum(w, mask uint64) int {
+	x := w & mask
+	s := (x & 0x00FF00FF00FF00FF) + ((x >> 8) & 0x00FF00FF00FF00FF)
+	s = (s & 0x0000FFFF0000FFFF) + ((s >> 16) & 0x0000FFFF0000FFFF)
+	s = (s + (s >> 32)) & 0xFFFFFFFF
+	return int(s) - 256*bits.OnesCount64(x&0x8080808080808080)
+}
+
 // AppendProject appends the raw signed projection vector of l (before
 // sign quantization) to dst and returns the extended slice. It performs
 // no allocation when dst has capacity for Bits more elements, so callers
 // with a reusable buffer project allocation-free.
 func (h *Hasher) AppendProject(dst []int, l *line.Line) []int {
 	for i := range h.rows {
-		r := &h.rows[i]
-		sum := 0
-		for _, t := range r.plus {
-			sum += int(int8(l[t]))
-		}
-		for _, t := range r.minus {
-			sum -= int(int8(l[t]))
-		}
-		dst = append(dst, sum)
+		dst = append(dst, rowSum(&h.rows[i], l))
 	}
 	return dst
 }

@@ -1,0 +1,187 @@
+package lsh
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/xrand"
+)
+
+// refHasher is an independent scalar reference: it re-derives the tap
+// draw from the same rng sequence as New and evaluates every row with
+// the plain per-byte loop, with no word programs and no tap reordering.
+type refHasher struct {
+	bits  int
+	plus  [][]uint8
+	minus [][]uint8
+}
+
+func newRefHasher(cfg Config) *refHasher {
+	rng := xrand.New(cfg.Seed)
+	r := &refHasher{bits: cfg.Bits}
+	for i := 0; i < cfg.Bits; i++ {
+		perm := rng.Perm(line.Size)
+		var plus, minus []uint8
+		for j := 0; j < cfg.NonZeros; j++ {
+			col := uint8(perm[j])
+			if rng.Bool(0.5) {
+				plus = append(plus, col)
+			} else {
+				minus = append(minus, col)
+			}
+		}
+		r.plus = append(r.plus, plus)
+		r.minus = append(r.minus, minus)
+	}
+	return r
+}
+
+func (r *refHasher) rowSum(i int, l *line.Line) int {
+	sum := 0
+	for _, t := range r.plus[i] {
+		sum += int(int8(l[t]))
+	}
+	for _, t := range r.minus[i] {
+		sum -= int(int8(l[t]))
+	}
+	return sum
+}
+
+func (r *refHasher) fingerprint(l *line.Line) Fingerprint {
+	var fp Fingerprint
+	for i := 0; i < r.bits; i++ {
+		if r.rowSum(i, l) > 0 {
+			fp |= 1 << uint(i)
+		}
+	}
+	return fp
+}
+
+var swarConfigs = []Config{
+	DefaultConfig(),
+	{Bits: 24, NonZeros: 32, Seed: 7},
+	{Bits: 12, NonZeros: 64, Seed: 9},
+	{Bits: 8, NonZeros: 16, Seed: 5},
+	{Bits: 1, NonZeros: 4, Seed: 11},
+}
+
+func randLine(rng *xrand.Rand) line.Line {
+	var l line.Line
+	for w := 0; w < line.WordsPerLine; w++ {
+		l.SetWord(w, rng.Uint64())
+	}
+	return l
+}
+
+func TestWordProgramMatchesScalarReference(t *testing.T) {
+	for _, cfg := range swarConfigs {
+		h := MustNew(cfg)
+		ref := newRefHasher(cfg)
+		rng := xrand.New(0xabcd ^ uint64(cfg.Bits)<<8 ^ uint64(cfg.NonZeros))
+		for trial := 0; trial < 500; trial++ {
+			l := randLine(rng)
+			if got, want := h.Fingerprint(&l), ref.fingerprint(&l); got != want {
+				t.Fatalf("cfg %+v trial %d: Fingerprint %#x, reference %#x", cfg, trial, got, want)
+			}
+			sums := h.AppendProject(nil, &l)
+			for i, s := range sums {
+				if want := ref.rowSum(i, &l); s != want {
+					t.Fatalf("cfg %+v trial %d row %d: sum %d, reference %d", cfg, trial, i, s, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDenseConfigUsesWordPrograms(t *testing.T) {
+	h := MustNew(Config{Bits: 12, NonZeros: 64, Seed: 9})
+	for i := range h.rows {
+		if len(h.rows[i].words) != line.WordsPerLine {
+			t.Fatalf("row %d of the 64-tap config has %d word programs, want %d",
+				i, len(h.rows[i].words), line.WordsPerLine)
+		}
+		if len(h.rows[i].plus) != 0 || len(h.rows[i].minus) != 0 {
+			t.Fatalf("row %d of the 64-tap config retains scalar taps", i)
+		}
+	}
+	d := MustNew(DefaultConfig())
+	for i := range d.rows {
+		if np, nm := len(d.rows[i].plus), len(d.rows[i].minus); np+nm == 0 && len(d.rows[i].words) == 0 {
+			t.Fatalf("default-config row %d lost all its taps", i)
+		}
+	}
+}
+
+func TestMaskedSignedByteSum(t *testing.T) {
+	rng := xrand.New(0x5157)
+	for trial := 0; trial < 5000; trial++ {
+		w := rng.Uint64()
+		var mask uint64
+		for b := 0; b < 8; b++ {
+			if rng.Bool(0.5) {
+				mask |= uint64(0xFF) << uint(8*b)
+			}
+		}
+		want := 0
+		for b := 0; b < 8; b++ {
+			if mask>>(8*uint(b))&0xFF != 0 {
+				want += int(int8(byte(w >> (8 * uint(b)))))
+			}
+		}
+		if got := maskedSignedByteSum(w, mask); got != want {
+			t.Fatalf("trial %d: maskedSignedByteSum(%#x, %#x) = %d, want %d", trial, w, mask, got, want)
+		}
+	}
+}
+
+func TestFingerprintDelta(t *testing.T) {
+	for _, cfg := range swarConfigs {
+		h := MustNew(cfg)
+		rng := xrand.New(0xde17a ^ uint64(cfg.Bits))
+		for trial := 0; trial < 500; trial++ {
+			old := randLine(rng)
+			cur := old
+			n := rng.Intn(9) // 0..8 changed bytes
+			for j := 0; j < n; j++ {
+				cur[rng.Intn(line.Size)] ^= byte(1 + rng.Intn(255))
+			}
+			mask := line.DiffMask(&cur, &old)
+			// The contract allows extra set bits; exercise that too.
+			if rng.Bool(0.25) {
+				mask |= rng.Uint64()
+			}
+			got := h.FingerprintDelta(h.Fingerprint(&old), &cur, mask)
+			if want := h.Fingerprint(&cur); got != want {
+				t.Fatalf("cfg %+v trial %d: FingerprintDelta %#x, want %#x (changed %d bytes, mask %#x, rows %d)",
+					cfg, trial, got, want, n, mask, bits.OnesCount64(mask))
+			}
+		}
+	}
+}
+
+func BenchmarkFingerprintDense(b *testing.B) {
+	h := MustNew(Config{Bits: 12, NonZeros: 64, Seed: 9})
+	l := randLine(xrand.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkFP = h.Fingerprint(&l)
+	}
+}
+
+func BenchmarkFingerprintDelta(b *testing.B) {
+	h := MustNew(DefaultConfig())
+	rng := xrand.New(2)
+	old := randLine(rng)
+	cur := old
+	cur[17] ^= 0x40
+	cur[18] ^= 0x01
+	mask := line.DiffMask(&cur, &old)
+	fp := h.Fingerprint(&old)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkFP = h.FingerprintDelta(fp, &cur, mask)
+	}
+}
+
+var sinkFP Fingerprint

@@ -128,23 +128,7 @@ func Replay(c llc.Cache, rec *Recorded, st *memory.Store, sys SystemConfig, opt 
 	res.Instructions = measuredInstr
 	res.LLCStats = c.Stats()
 	res.DRAM = st.Stats()
-	if res.Samples > 0 {
-		res.CompressionRatio = ratioSum / float64(res.Samples)
-		res.Occupancy = occSum / float64(res.Samples)
-		res.AvgResidentLines = residentSum / float64(res.Samples)
-	}
-	if measuredInstr > 0 {
-		res.MPKI = float64(res.LLCStats.ReadMisses()) / float64(measuredInstr) * 1000
-	}
-
-	// Timing model. Upper-level behaviour is identical across designs, so
-	// L1/L2 stalls are scaled from the whole-trace counts by the measured
-	// window's share of instructions.
-	t := sys.Timing
-	share := 0.0
-	if rec.Instructions > 0 {
-		share = float64(measuredInstr) / float64(rec.Instructions)
-	}
+	finalizeSamples(&res, ratioSum, occSum, residentSum)
 	extraHit := 0.0
 	if dl, ok := c.(DecompressionLatency); ok {
 		extraHit = dl.DecompressionCycles()
@@ -153,11 +137,43 @@ func Replay(c llc.Cache, rec *Recorded, st *memory.Store, sys SystemConfig, opt 
 	if cd, ok := c.(CriticalDRAM); ok {
 		critDRAM = cd.CriticalDRAMAccesses() - critBase
 	}
-	// A backing store with an attached DRAM model replaces the flat
-	// memory latency with the measured per-access average.
+	cyc, haveModel := st.DemandCycles()
+	applyTiming(&res, rec, sys, extraHit, critDRAM, cyc, haveModel)
+	return res, nil
+}
+
+// finalizeSamples converts the running footprint-sample sums into the
+// time-averaged Fig. 13a metrics and the MPKI. Shared by the serial and
+// set-sharded replays so both produce bit-identical derived metrics from
+// identical sums.
+func finalizeSamples(res *Result, ratioSum, occSum, residentSum float64) {
+	if res.Samples > 0 {
+		res.CompressionRatio = ratioSum / float64(res.Samples)
+		res.Occupancy = occSum / float64(res.Samples)
+		res.AvgResidentLines = residentSum / float64(res.Samples)
+	}
+	if res.Instructions > 0 {
+		res.MPKI = float64(res.LLCStats.ReadMisses()) / float64(res.Instructions) * 1000
+	}
+}
+
+// applyTiming fills the overlap-aware timing-model outputs (Cycles, IPC)
+// from the merged post-warmup statistics. Upper-level behaviour is
+// identical across designs, so L1/L2 stalls are scaled from the
+// whole-trace counts by the measured window's share of instructions.
+// demandCycles/haveModel carry the backing store's DRAM-model totals
+// (Store.DemandCycles); with a model attached the flat memory latency is
+// replaced by the measured per-access average.
+func applyTiming(res *Result, rec *Recorded, sys SystemConfig, extraHit float64, critDRAM uint64, demandCycles float64, haveModel bool) {
+	t := sys.Timing
+	measuredInstr := res.Instructions
+	share := 0.0
+	if rec.Instructions > 0 {
+		share = float64(measuredInstr) / float64(rec.Instructions)
+	}
 	memCycles := t.MemCycles
-	if cyc, ok := st.DemandCycles(); ok && res.DRAM.Demand() > 0 {
-		memCycles = cyc / float64(res.DRAM.Demand())
+	if haveModel && res.DRAM.Demand() > 0 {
+		memCycles = demandCycles / float64(res.DRAM.Demand())
 	}
 	s := res.LLCStats
 	stalls := float64(rec.L2Hits) * share * t.L2HitCycles * t.OverlapFactor
@@ -168,5 +184,4 @@ func Replay(c llc.Cache, rec *Recorded, st *memory.Store, sys SystemConfig, opt 
 	if res.Cycles > 0 {
 		res.IPC = float64(measuredInstr) / res.Cycles
 	}
-	return res, nil
 }

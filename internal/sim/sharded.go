@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/line"
+	"repro/internal/llc"
+	"repro/internal/memory"
+)
+
+// SetPartitioned is implemented by LLC designs whose entire observable
+// state is partitioned by tag set: an access to address A touches only
+// state owned by A's set (its tag entries, that set's replacement bits,
+// per-set data storage) plus commutative statistics counters. For such a
+// design, an event stream partitioned by set replays identically on
+// disjoint shard caches, which is what lets ReplaySharded parallelize a
+// single replay without changing any result bit.
+//
+// Conventional caches qualify. Designs with cross-set shared structures —
+// the Thesaurus base table and LLC base cache, the dedup hash — do not:
+// their placement decisions observe global state (and a shared RNG), so
+// they must replay serially.
+type SetPartitioned interface {
+	llc.Cache
+	// SetIndex maps an address to its owning tag set.
+	SetIndex(addr line.Addr) int
+	// NumTagSets reports the tag set count.
+	NumTagSets() int
+}
+
+// shardSample is one shard's contribution to a global footprint sample
+// instant: the shard-local footprint at that point in the event stream.
+// Summing resident/used across shards reconstructs the exact integer
+// footprint the serial replay would have observed, so the derived floats
+// (compression ratio, occupancy) are bit-identical.
+type shardSample struct {
+	resident int
+	used     int
+	total    int
+}
+
+// shardResult is everything one shard goroutine produces. Each goroutine
+// writes only its own index of the results slice (no shared mutable
+// state), so the merge is deterministic for any interleaving.
+type shardResult struct {
+	llc          llc.Stats
+	dram         memory.Stats
+	measured     uint64
+	samples      []shardSample
+	critDRAM     uint64
+	demandCycles float64
+	haveModel    bool
+	err          error
+	errAt        int
+}
+
+// ReplaySharded replays rec across len(shards) disjoint shard caches of
+// one set-partitioned design and merges the results into exactly what
+// Replay would have produced on a single cache: statistics summed
+// field-wise, footprint samples summed per instant before the float
+// averaging, and the timing model applied to the merged totals. Shard i
+// must be backed by stores[i]; all shards must be identically configured.
+//
+// Byte-identity with the serial replay holds by construction: events are
+// partitioned by tag set, each shard processes its events in global
+// order, warmup resets and sample instants are aligned to global event
+// indices, and every merged float is computed from integer sums in the
+// serial accumulation order.
+func ReplaySharded(shards []llc.Cache, stores []*memory.Store, rec *Recorded, sys SystemConfig, opt ReplayOptions) (Result, error) {
+	if len(shards) == 0 {
+		return Result{}, fmt.Errorf("sim: sharded replay needs at least one shard")
+	}
+	if len(shards) != len(stores) {
+		return Result{}, fmt.Errorf("sim: %d shards but %d stores", len(shards), len(stores))
+	}
+	if opt.OnSample != nil {
+		return Result{}, fmt.Errorf("sim: sharded replay cannot host OnSample hooks")
+	}
+	if len(shards) == 1 {
+		return Replay(shards[0], rec, stores[0], sys, opt)
+	}
+	if opt.SampleEvery <= 0 {
+		opt.SampleEvery = 2048
+	}
+	parts := make([]SetPartitioned, len(shards))
+	for i, c := range shards {
+		p, ok := c.(SetPartitioned)
+		if !ok {
+			return Result{}, fmt.Errorf("sim: design %q is not set-partitioned", c.Name())
+		}
+		if i > 0 && p.NumTagSets() != parts[0].NumTagSets() {
+			return Result{}, fmt.Errorf("sim: shard %d has %d tag sets, shard 0 has %d",
+				i, p.NumTagSets(), parts[0].NumTagSets())
+		}
+		parts[i] = p
+	}
+	if len(rec.Events) > math.MaxInt32 {
+		return Result{}, fmt.Errorf("sim: event stream too long to shard (%d events)", len(rec.Events))
+	}
+
+	res := Result{Design: shards[0].Name()}
+	warmup := int(opt.WarmupFraction * float64(len(rec.Events)))
+	// Global sample schedule: instant s is event index warmup+s·SampleEvery,
+	// exactly the indices the serial loop samples at.
+	numSamples := 0
+	if warmup < len(rec.Events) {
+		numSamples = (len(rec.Events)-1-warmup)/opt.SampleEvery + 1
+	}
+
+	// Partition the event stream by tag set. Every shard sees its events in
+	// global order, and a set's full event subsequence lands on one shard,
+	// so per-set state (tags, replacement bits) evolves exactly as in the
+	// serial replay.
+	n := len(shards)
+	events := make([][]int32, n)
+	for i := range rec.Events {
+		s := parts[0].SetIndex(rec.Events[i].Addr) % n
+		events[s] = append(events[s], int32(i))
+	}
+
+	outs := make([]shardResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		stores[i].Reserve(rec.UniqueLines/n + 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runShard(shards[i], stores[i], rec, events[i], warmup, opt.SampleEvery, numSamples, opt.Verify, &outs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	// A verify divergence aborts the run; with several shards failing, the
+	// error the serial replay would have hit first (smallest global event
+	// index) wins.
+	var firstErr error
+	firstAt := 0
+	for i := range outs {
+		if outs[i].err != nil && (firstErr == nil || outs[i].errAt < firstAt) {
+			firstErr, firstAt = outs[i].err, outs[i].errAt
+		}
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+
+	// Merge. Integer counters sum exactly; the sample-derived floats are
+	// recomputed per instant from the summed integer footprints, in the
+	// same ascending-instant order the serial loop accumulates them.
+	var measured, critDRAM uint64
+	var demandCycles float64
+	haveModel := true
+	for i := range outs {
+		o := &outs[i]
+		measured += o.measured
+		critDRAM += o.critDRAM
+		demandCycles += o.demandCycles
+		haveModel = haveModel && o.haveModel
+		s := o.llc
+		res.LLCStats.Reads += s.Reads
+		res.LLCStats.Writes += s.Writes
+		res.LLCStats.ReadHits += s.ReadHits
+		res.LLCStats.WriteHits += s.WriteHits
+		res.LLCStats.Fills += s.Fills
+		res.LLCStats.Writebacks += s.Writebacks
+		for k := range o.dram.Counts {
+			res.DRAM.Counts[k] += o.dram.Counts[k]
+		}
+	}
+	var ratioSum, occSum, residentSum float64
+	for s := 0; s < numSamples; s++ {
+		fp := llc.Footprint{DataBytesTotal: outs[0].samples[s].total}
+		for i := range outs {
+			fp.ResidentLines += outs[i].samples[s].resident
+			fp.DataBytesUsed += outs[i].samples[s].used
+		}
+		ratioSum += fp.CompressionRatio()
+		occSum += 1 / fp.CompressionRatio()
+		residentSum += float64(fp.ResidentLines)
+		res.Samples++
+	}
+	res.Instructions = measured
+	finalizeSamples(&res, ratioSum, occSum, residentSum)
+	extraHit := 0.0
+	if dl, ok := shards[0].(DecompressionLatency); ok {
+		extraHit = dl.DecompressionCycles()
+	}
+	applyTiming(&res, rec, sys, extraHit, critDRAM, demandCycles, haveModel)
+	return res, nil
+}
+
+// runShard replays one shard's event subsequence (global indices, in
+// ascending order) against its private cache and store, recording partial
+// footprints at every global sample instant and resetting statistics at
+// the global warmup boundary — both keyed to global indices so the merged
+// run is indistinguishable from the serial one.
+func runShard(c llc.Cache, st *memory.Store, rec *Recorded, events []int32, warmup, sampleEvery, numSamples int, verify bool, out *shardResult) {
+	out.samples = make([]shardSample, 0, numSamples)
+	var critBase uint64
+	crossed := false
+	record := func() {
+		fp := c.Footprint()
+		out.samples = append(out.samples, shardSample{fp.ResidentLines, fp.DataBytesUsed, fp.DataBytesTotal})
+	}
+	reset := func() {
+		c.ResetStats()
+		st.ResetStats()
+		if cd, ok := c.(CriticalDRAM); ok {
+			critBase = cd.CriticalDRAMAccesses()
+		}
+		crossed = true
+	}
+	for _, gi := range events {
+		g := int(gi)
+		// Flush every sample instant this shard has replayed past: its
+		// state at instant warmup+s·sampleEvery is its state after its last
+		// event with global index ≤ that instant (later shard-local events
+		// have strictly larger global indices).
+		for len(out.samples) < numSamples && g > warmup+len(out.samples)*sampleEvery {
+			record()
+		}
+		if !crossed && g >= warmup {
+			reset()
+		}
+		ev := &rec.Events[g]
+		if g >= warmup {
+			out.measured += ev.Instrs
+		}
+		switch ev.Kind {
+		case EventRead:
+			// Stage the fill value: the store must serve the program's
+			// current content if the read misses.
+			st.Poke(ev.Addr, ev.Data)
+			got, _ := c.Read(ev.Addr)
+			if verify && got != ev.Data {
+				out.err = fmt.Errorf("sim: %s returned wrong data for %#x at event %d",
+					c.Name(), uint64(ev.Addr), g)
+				out.errAt = g
+				return
+			}
+		case EventWrite:
+			c.Write(ev.Addr, ev.Data)
+		}
+	}
+	// Tail: a shard whose events all precede warmup still resets (the
+	// serial reset clears the whole cache's counters at the boundary), and
+	// its state contributes unchanged to every remaining sample instant.
+	if !crossed && warmup < len(rec.Events) {
+		reset()
+	}
+	for len(out.samples) < numSamples {
+		record()
+	}
+	out.llc = c.Stats()
+	out.dram = st.Stats()
+	if cd, ok := c.(CriticalDRAM); ok {
+		out.critDRAM = cd.CriticalDRAMAccesses() - critBase
+	}
+	out.demandCycles, out.haveModel = st.DemandCycles()
+}

@@ -37,28 +37,44 @@ type BaseTable struct {
 	mem   *memory.Store
 }
 
-// tablePools recycles released tables by entry count. Ablation sweeps
-// construct one table per configuration, and at 2^20+ entries the
-// make-and-zero of a fresh slab is a measurable slice of campaign time;
-// reusing a pooled slab makes NewBaseTable O(1) (one epoch bump, no
-// zeroing).
-var tablePools sync.Map // entry count (int) → *sync.Pool of *BaseTable
+// tablePools recycles released tables by size, indexed by the bit width
+// (table sizes are always powers of two, and lsh.MaxBits bounds the
+// exponent). Ablation sweeps construct one table per configuration, and
+// at 2^20+ entries the make-and-zero of a fresh slab is a measurable
+// slice of campaign time; reusing a pooled slab makes NewBaseTable O(1)
+// (one epoch bump, no zeroing). A fixed array of pools rather than a
+// sync.Map keyed by entry count keeps Release/NewBaseTable free of the
+// interface-key boxing a large int key would allocate on every cycle.
+var tablePools [lsh.MaxBits + 1]sync.Pool
+
+// poolIndex returns the tablePools slot for a table of n entries, or -1
+// for sizes no pool serves (non-power-of-two or out of range; such
+// tables are simply not recycled).
+func poolIndex(n int) int {
+	bits := 0
+	for 1<<uint(bits) < n && bits <= lsh.MaxBits {
+		bits++
+	}
+	if 1<<uint(bits) != n {
+		return -1
+	}
+	return bits
+}
 
 // NewBaseTable returns a table with 2^bits entries over mem, reusing a
 // pooled slab of the same size when one is available. A recycled table
 // is observationally identical to a fresh one: Reset invalidates every
 // entry before it is handed out.
 func NewBaseTable(bits int, mem *memory.Store) *BaseTable {
-	size := 1 << uint(bits)
-	if p, ok := tablePools.Load(size); ok {
-		if v := p.(*sync.Pool).Get(); v != nil {
+	if bits >= 0 && bits <= lsh.MaxBits {
+		if v := tablePools[bits].Get(); v != nil {
 			t := v.(*BaseTable)
 			t.mem = mem
 			t.Reset()
 			return t
 		}
 	}
-	return &BaseTable{entries: make([]BaseEntry, size), epoch: 1, mem: mem}
+	return &BaseTable{entries: make([]BaseEntry, 1<<uint(bits)), epoch: 1, mem: mem}
 }
 
 // Reset invalidates every entry in O(1) by advancing the validity epoch.
@@ -79,8 +95,9 @@ func (t *BaseTable) Reset() {
 // caller must not touch the table afterwards.
 func (t *BaseTable) Release() {
 	t.mem = nil
-	p, _ := tablePools.LoadOrStore(len(t.entries), &sync.Pool{})
-	p.(*sync.Pool).Put(t)
+	if i := poolIndex(len(t.entries)); i >= 0 {
+		tablePools[i].Put(t)
+	}
 }
 
 // valid reports whether e carries t's current validity epoch.

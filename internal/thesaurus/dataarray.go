@@ -2,6 +2,7 @@ package thesaurus
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/diffenc"
 	"repro/internal/line"
@@ -36,6 +37,12 @@ type slot struct {
 type dataSet struct {
 	slots    []slot
 	usedSegs int
+	// tombs has one bit per startmap position that currently holds a
+	// tombstone. Insert picks its reuse slot from this mask instead of
+	// scanning the slots (each slot spans two cache lines, so a linear
+	// probe of a full startmap touches ~2KB of mostly cold memory per
+	// insertion). segsPerSet ≤ 64 bounds the startmap within the mask.
+	tombs uint64
 }
 
 // DataArray is the decoupled, segment-granular LLC data array of §5.2.2.
@@ -130,15 +137,14 @@ func (d *DataArray) Insert(s int, enc *diffenc.Encoded, tagIdx int) int {
 	if enc.Format == diffenc.FormatRaw {
 		state = SlotValidRaw
 	}
-	// Reuse a tombstone if present (Fig. 11d step 6), else append a new
-	// startmap position. Because every live entry spans ≥2 segments, at
-	// most segsPerSet/2 slots are live, so a position is always available.
+	// Reuse a tombstone if present (Fig. 11d step 6) — the lowest-index
+	// one, matching the original linear scan — else append a new startmap
+	// position. Because every live entry spans ≥2 segments, at most
+	// segsPerSet/2 slots are live, so a position is always available.
 	idx := -1
-	for i := range set.slots {
-		if set.slots[i].state == SlotInvalid {
-			idx = i
-			break
-		}
+	if set.tombs != 0 {
+		idx = bits.TrailingZeros64(set.tombs)
+		set.tombs &^= 1 << uint(idx)
 	}
 	if idx < 0 {
 		if len(set.slots) >= d.segsPerSet {
@@ -188,9 +194,23 @@ func (d *DataArray) Remove(s, slotIdx int) {
 		panic(fmt.Sprintf("thesaurus: Remove of non-valid slot (%d,%d)", s, slotIdx))
 	}
 	d.sets[s].usedSegs -= sl.segs
-	deltas := sl.enc.Deltas[:0]
-	*sl = slot{state: SlotInvalid, tagIdx: -1}
-	sl.enc.Deltas = deltas
+	// Field-wise reset rather than zeroing the whole slot: the embedded
+	// encoding (including its 64-byte Raw) is dead payload that the next
+	// Insert's CopyFrom overwrites in full, so clearing it here would
+	// memclr ~100 bytes per eviction for nothing. CheckInvariants only
+	// requires tombstones to carry segs == 0.
+	sl.state = SlotInvalid
+	sl.segs = 0
+	sl.tagIdx = -1
+	d.sets[s].tombs |= 1 << uint(slotIdx)
+}
+
+// encAt returns the encoded entry at (set, slot) without the validity
+// checks of Get. It is the read/rewrite hot-path accessor: callers hold a
+// tag whose back-pointer CheckInvariants keeps honest, so the defensive
+// panics in Get would re-verify an invariant per access.
+func (d *DataArray) encAt(s, slotIdx int) *diffenc.Encoded {
+	return &d.sets[s].slots[slotIdx].enc
 }
 
 func (d *DataArray) slotAt(s, slotIdx int) *slot {
@@ -278,6 +298,7 @@ func (d *DataArray) CheckInvariants() error {
 	for s := range d.sets {
 		set := &d.sets[s]
 		sum := 0
+		var tombs uint64
 		for i := range set.slots {
 			sl := &set.slots[i]
 			switch sl.state {
@@ -290,9 +311,13 @@ func (d *DataArray) CheckInvariants() error {
 				if sl.segs != 0 {
 					return fmt.Errorf("set %d slot %d: tombstone with %d segs", s, i, sl.segs)
 				}
+				tombs |= 1 << uint(i)
 			case SlotFree:
 				return fmt.Errorf("set %d slot %d: free slot inside startmap", s, i)
 			}
+		}
+		if tombs != set.tombs {
+			return fmt.Errorf("set %d: tombstone mask %#x but slots show %#x", s, set.tombs, tombs)
 		}
 		if sum != set.usedSegs {
 			return fmt.Errorf("set %d: usedSegs=%d but slots sum to %d", s, set.usedSegs, sum)

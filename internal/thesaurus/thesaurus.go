@@ -12,6 +12,7 @@ package thesaurus
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/bdi"
 	"repro/internal/cache"
@@ -64,7 +65,20 @@ type Config struct {
 	// cannot benefit (see adaptive.go). Zero disables the detector (the
 	// paper's evaluated configuration).
 	AdaptiveEpoch int
+	// WriteBufferDepth bounds the write buffer that defers whole write
+	// operations (lookup included) until the buffer fills or the cache's
+	// state is next observed, modelling §5.4.2's off-critical-path
+	// re-encoding. Draining replays the buffered writes in arrival order
+	// through the unmodified write path, so every statistic, replacement
+	// decision, and rng draw is byte-identical to an unbuffered cache
+	// (docs/performance.md). Zero disables buffering.
+	WriteBufferDepth int
 }
+
+// DefaultWriteBufferDepth is the default write-buffer capacity: deep
+// enough to batch a typical writeback burst, small enough that the
+// deferred state is bounded by one tag set's worth of lines.
+const DefaultWriteBufferDepth = 32
 
 // DefaultConfig returns the paper's Table 2 configuration: 32768 tags
 // (8-way), 11700-entry-equivalent data array, 12-bit LSH, 512-entry base
@@ -81,6 +95,7 @@ func DefaultConfig() Config {
 		BaseCacheWays:    8,
 		VictimCandidates: 4,
 		Seed:             0x7e5a7105,
+		WriteBufferDepth: DefaultWriteBufferDepth,
 	}
 }
 
@@ -117,6 +132,9 @@ func (c Config) Validate() error {
 	}
 	if c.VictimCandidates <= 0 {
 		return fmt.Errorf("thesaurus: need at least one victim candidate")
+	}
+	if c.WriteBufferDepth < 0 {
+		return fmt.Errorf("thesaurus: negative write buffer depth %d", c.WriteBufferDepth)
 	}
 	return c.LSH.Validate()
 }
@@ -219,8 +237,37 @@ type Cache struct {
 	// parallel campaigns build one Cache per worker.
 	encScratch diffenc.Encoded
 
+	// wbuf is the bounded write buffer (nil when disabled): whole write
+	// operations parked in arrival order until capacity or the next
+	// observation of cache state forces a drain. wstats instruments the
+	// batching; it is reported only through the WriteBuffer accessor,
+	// never in snapshots, so buffered and unbuffered runs produce
+	// byte-identical reports.
+	wbuf   []bufferedWrite
+	wstats WriteBufferStats
+
 	adaptive      adaptiveState
 	adaptiveStats AdaptiveStats
+}
+
+// bufferedWrite is one deferred write operation.
+type bufferedWrite struct {
+	addr line.Addr
+	data line.Line
+}
+
+// WriteBufferStats instruments the deferred-write batching: how many
+// writes were buffered, how often the buffer drained and why, and the
+// largest batch replayed in one drain. CapacityDrains are the drains a
+// hardware write buffer would absorb with more depth; ObservationDrains
+// happen at state-observation boundaries (reads, stats, snapshots) and
+// are off the simulated critical path by construction.
+type WriteBufferStats struct {
+	Buffered          uint64
+	Drains            uint64
+	CapacityDrains    uint64
+	ObservationDrains uint64
+	MaxBatch          uint64
 }
 
 var _ llc.Cache = (*Cache)(nil)
@@ -250,6 +297,9 @@ func New(cfg Config, mem *memory.Store) (*Cache, error) {
 	if cfg.DiffSeriesWindow > 0 {
 		c.diffSeries = stats.NewSeries(cfg.DiffSeriesWindow)
 	}
+	if cfg.WriteBufferDepth > 0 {
+		c.wbuf = make([]bufferedWrite, 0, cfg.WriteBufferDepth)
+	}
 	return c, nil
 }
 
@@ -269,16 +319,26 @@ func (c *Cache) Name() string { return "Thesaurus" }
 func (c *Cache) Config() Config { return c.cfg }
 
 // BaseCache exposes the base cache for the Fig. 20 sweep.
-func (c *Cache) BaseCache() *BaseCache { return c.bcache }
+func (c *Cache) BaseCache() *BaseCache {
+	c.drainWrites(false)
+	return c.bcache
+}
 
 // BaseTable exposes the base table for the Fig. 16 sampling.
-func (c *Cache) BaseTable() *BaseTable { return c.table }
+func (c *Cache) BaseTable() *BaseTable {
+	c.drainWrites(false)
+	return c.table
+}
 
 // Extra returns the Thesaurus-specific statistics.
-func (c *Cache) Extra() ExtraStats { return c.extra }
+func (c *Cache) Extra() ExtraStats {
+	c.drainWrites(false)
+	return c.extra
+}
 
 // DiffSeries returns the Fig. 19 time series (nil unless enabled).
 func (c *Cache) DiffSeries() []float64 {
+	c.drainWrites(false)
 	if c.diffSeries == nil {
 		return nil
 	}
@@ -288,6 +348,7 @@ func (c *Cache) DiffSeries() []float64 {
 // Read implements llc.Cache (§5.4.1, Fig. 12).
 func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 	addr = addr.LineAddr()
+	c.drainWrites(false)
 	c.stats.Reads++
 	if e, _ := c.tags.Lookup(addr); e != nil {
 		c.stats.ReadHits++
@@ -299,27 +360,39 @@ func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 	c.observeAccess(false)
 	data := c.mem.Read(addr, memory.Fill)
 	c.stats.Fills++
-	c.install(addr, data, false)
+	c.install(addr, &data, false)
 	return data, false
 }
 
 // Write implements llc.Cache (§5.4.2): the new content may change the
 // encoding and size, so the line is re-encoded through the full data path.
+// With a write buffer configured the whole operation is deferred until the
+// buffer fills or the cache is next observed; the return value is then
+// advisory (a statistics- and recency-free residency probe), matching what
+// the operation will report when it replays. Replay order equals arrival
+// order, so a buffered cache is observationally byte-identical to an
+// unbuffered one.
 func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	addr = addr.LineAddr()
+	if c.wbuf == nil {
+		return c.writeNow(addr, &data)
+	}
+	hit := c.peekResident(addr)
+	c.wbuf = append(c.wbuf, bufferedWrite{addr: addr, data: data})
+	c.wstats.Buffered++
+	if len(c.wbuf) == cap(c.wbuf) {
+		c.drainWrites(true)
+	}
+	return hit
+}
+
+// writeNow runs one write operation through the data path immediately.
+func (c *Cache) writeNow(addr line.Addr, data *line.Line) bool {
 	c.stats.Writes++
 	if e, idx := c.tags.Lookup(addr); e != nil {
 		c.stats.WriteHits++
 		c.observeAccess(true)
-		// Re-writes of unchanged content keep the same fingerprint; skip
-		// the LSH projection in that case (the rest of the data path runs
-		// identically, so every statistic is unchanged).
-		fp, haveFP := e.Payload.fp, e.Payload.fpValid
-		if haveFP && c.decodeEntry(e) != data {
-			haveFP = false
-		}
-		c.dropPayload(e)
-		c.place(e, idx, data, true, fp, haveFP)
+		c.rewriteHit(e, idx, data)
 		c.extra.Reencodes++
 		return true
 	}
@@ -328,14 +401,133 @@ func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	return false
 }
 
+// rewriteHit re-encodes a resident line with new content (§5.4.2). The
+// stored encoding already knows a lot about the new line: the old-vs-new
+// byte diff falls out of the stored mask and deltas without materializing
+// the old line, the fingerprint is updated incrementally by re-projecting
+// only the rows that tap changed bytes (exactly Fingerprint(data), see
+// lsh.FingerprintDelta), and when the fingerprint is unchanged the
+// new-vs-clusteroid mask computed here is handed to the encoder so the
+// placement path never recomputes it.
+func (c *Cache) rewriteHit(e *cache.Entry[tagPayload], tagIdx int, data *line.Line) {
+	var hint placeHint
+	if e.Payload.fpValid {
+		oldFP := e.Payload.fp
+		changed, baseMask, haveBaseMask := c.changedVsStored(e, data)
+		hint.fp = oldFP
+		hint.haveFP = true
+		if changed != 0 {
+			hint.fp = c.hasher.FingerprintDelta(oldFP, data, changed)
+		}
+		// baseMask is the diff against the table entry for oldFP; it is
+		// only the encode mask if the new content still lands there.
+		if haveBaseMask && hint.fp == oldFP {
+			hint.baseMask = baseMask
+			hint.haveBaseMask = true
+		}
+	}
+	c.dropPayload(e)
+	c.place(e, tagIdx, data, true, hint)
+}
+
+// changedVsStored returns the byte mask at which data differs from the
+// entry's current (encoded) content, derived from the stored encoding
+// instead of a decode-and-compare. For base-referencing formats it also
+// returns the data-vs-clusteroid diff mask it computed along the way
+// (valid for the entry's current fingerprint). The entry must be placed
+// (fpValid) and compression-era: AllZero entries never carry fpValid.
+func (c *Cache) changedVsStored(e *cache.Entry[tagPayload], data *line.Line) (changed, baseMask uint64, haveBaseMask bool) {
+	p := e.Payload
+	switch p.fmt {
+	case diffenc.FormatBaseOnly:
+		// Old content is the clusteroid itself.
+		ent := c.table.entry(p.fp)
+		baseMask = line.DiffMask(data, &ent.Base)
+		return baseMask, baseMask, true
+	case diffenc.FormatBaseDiff, diffenc.FormatZeroDiff:
+		// Old content is ref overlaid with deltas at mask positions:
+		// outside the mask it equals ref, inside it equals the stored
+		// delta byte. One data-vs-ref mask plus a walk of the (short,
+		// Fig. 18) delta list replaces the full decode.
+		enc := c.data.encAt(int(p.setPtr), int(p.slotIdx))
+		if p.fmt == diffenc.FormatBaseDiff {
+			ent := c.table.entry(p.fp)
+			baseMask = line.DiffMask(data, &ent.Base)
+			haveBaseMask = true
+			changed = baseMask &^ enc.Mask
+		} else {
+			changed = data.NonZeroMask() &^ enc.Mask
+		}
+		j := 0
+		for m := enc.Mask; m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			if data[b] != enc.Deltas[j] {
+				changed |= 1 << uint(b)
+			}
+			j++
+		}
+		return changed, baseMask, haveBaseMask
+	default:
+		// Raw and Intra entries carry the old line verbatim.
+		enc := c.data.encAt(int(p.setPtr), int(p.slotIdx))
+		return line.DiffMask(data, &enc.Raw), 0, false
+	}
+}
+
+// peekResident reports whether a write to addr will hit once the buffer
+// drains: resident in the tag array (no statistics or recency update), or
+// pending in the buffer itself (a buffered write-allocate installs it).
+func (c *Cache) peekResident(addr line.Addr) bool {
+	// Tag probe first: in steady state most writes hit a resident line,
+	// and the probe touches one set instead of walking the buffer (each
+	// pending write carries a full 64-byte line).
+	if e, _ := c.tags.Peek(addr); e != nil {
+		return true
+	}
+	for i := len(c.wbuf) - 1; i >= 0; i-- {
+		if c.wbuf[i].addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// drainWrites replays the buffered writes in arrival order through the
+// unmodified write path. It runs on capacity and before every observation
+// of cache state, so statistics, replacement state, and rng draws are
+// byte-identical to an unbuffered cache at every observation point.
+func (c *Cache) drainWrites(capacity bool) {
+	if len(c.wbuf) == 0 {
+		return
+	}
+	c.wstats.Drains++
+	if capacity {
+		c.wstats.CapacityDrains++
+	} else {
+		c.wstats.ObservationDrains++
+	}
+	if n := uint64(len(c.wbuf)); n > c.wstats.MaxBatch {
+		c.wstats.MaxBatch = n
+	}
+	for i := range c.wbuf {
+		c.writeNow(c.wbuf[i].addr, &c.wbuf[i].data)
+	}
+	c.wbuf = c.wbuf[:0]
+}
+
+// WriteBuffer returns the write-buffer statistics. Reading them does not
+// drain the buffer (draining here would fold the act of observing the
+// buffer into the numbers being observed).
+func (c *Cache) WriteBuffer() WriteBufferStats { return c.wstats }
+
 // install allocates a tag for addr (evicting as needed) and runs the
 // insertion data path.
-func (c *Cache) install(addr line.Addr, data line.Line, dirty bool) {
+func (c *Cache) install(addr line.Addr, data *line.Line, dirty bool) {
 	e, idx, evicted, had := c.tags.Insert(addr)
 	if had {
 		c.retire(evicted)
 	}
-	c.place(e, idx, data, dirty, 0, false)
+	c.place(e, idx, data, dirty, placeHint{})
 	c.extra.Insertions++
 }
 
@@ -377,18 +569,29 @@ func (c *Cache) releaseBase(p tagPayload) {
 	ent.Cntr--
 }
 
+// placeHint carries what the write-hit fast path already knows about the
+// line being placed: its exact fingerprint (haveFP), and — when the
+// fingerprint is unchanged by the rewrite — the precomputed diff mask
+// against that fingerprint's clusteroid (haveBaseMask). Both are pure
+// memoization: placeLine computes identical values when they are absent.
+type placeHint struct {
+	fp           lsh.Fingerprint
+	haveFP       bool
+	baseMask     uint64
+	haveBaseMask bool
+}
+
 // place runs the insertion data path (Fig. 12 b+c) for a valid tag entry
 // with an empty payload, encoding data and allocating data-array space.
-// fpHint/haveFP carry a memoized fingerprint from the write-hit path when
-// the re-written content is unchanged; placeLine does the work and place
-// accounts the final format (the split replaces a deferred closure that
-// cost an allocation-free but measurable defer on every placement).
-func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool, fpHint lsh.Fingerprint, haveFP bool) {
-	c.placeLine(e, tagIdx, data, dirty, fpHint, haveFP)
+// placeLine does the work and place accounts the final format (the split
+// replaces a deferred closure that cost an allocation-free but measurable
+// defer on every placement).
+func (c *Cache) place(e *cache.Entry[tagPayload], tagIdx int, data *line.Line, dirty bool, hint placeHint) {
+	c.placeLine(e, tagIdx, data, dirty, hint)
 	c.extra.ByFormat[e.Payload.fmt]++
 }
 
-func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line, dirty bool, fpHint lsh.Fingerprint, haveFP bool) {
+func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data *line.Line, dirty bool, hint placeHint) {
 	e.Dirty = dirty
 	e.Payload = tagPayload{setPtr: -1, slotIdx: -1}
 	c.extra.Placements++
@@ -406,23 +609,35 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 	if c.compressionDisabled() {
 		e.Payload.fmt = diffenc.FormatRaw
 		c.adaptiveStats.DisabledPlacements++
-		c.encScratch.SetRaw(&data)
+		c.encScratch.SetRaw(data)
 		c.allocData(e, tagIdx, &c.encScratch)
 		return
 	}
 
-	fp := fpHint
-	if !haveFP {
-		fp = c.hasher.Fingerprint(&data)
+	fp := hint.fp
+	if !hint.haveFP {
+		fp = c.hasher.Fingerprint(data)
 	}
 	e.Payload.fp = fp
 	e.Payload.fpValid = true
 	ent := c.table.entry(fp)
 
+	// The diff against the live clusteroid drives both the Fig. 15
+	// accounting and the encoder; compute (or take from the hint) the
+	// mask once and share it.
+	live := c.table.valid(ent) && ent.Cntr > 0
+	var baseMask uint64
+	if live {
+		if hint.haveBaseMask {
+			baseMask = hint.baseMask
+		} else {
+			baseMask = line.DiffMask(data, &ent.Base)
+		}
+	}
+
 	// Fig. 15 accounting: would this line compress against the
 	// authoritative clusteroid (ignoring base-cache state)?
-	if !c.table.valid(ent) || ent.Cntr == 0 ||
-		line.DiffBytes(&data, &ent.Base) <= diffenc.MaxCompressibleDiffBytes {
+	if !live || bits.OnesCount64(baseMask) <= diffenc.MaxCompressibleDiffBytes {
 		c.extra.Compressible++
 	}
 
@@ -433,7 +648,7 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 			// No clusteroid existed; seed the table so future insertions
 			// for this fingerprint can cluster.
 			c.table.markValid(ent)
-			ent.Base = data
+			ent.Base = *data
 			ent.Cntr = 0
 		}
 		c.extra.RawDueToBaseMiss++
@@ -442,17 +657,17 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 	}
 
 	// Base cache hit: the clusteroid (if any) is at hand.
-	if !c.table.valid(ent) || ent.Cntr == 0 {
+	if !live {
 		// No live cluster: this line becomes the (new) clusteroid.
 		c.table.markValid(ent)
-		ent.Base = data
+		ent.Base = *data
 		ent.Cntr = 1
 		e.Payload.fmt = diffenc.FormatBaseOnly
 		return
 	}
 
 	enc := &c.encScratch
-	diffenc.EncodeInto(enc, &data, &ent.Base)
+	diffenc.EncodeIntoMasked(enc, data, baseMask)
 	switch enc.Format {
 	case diffenc.FormatBaseOnly:
 		e.Payload.fmt = enc.Format
@@ -479,17 +694,17 @@ func (c *Cache) placeLine(e *cache.Entry[tagPayload], tagIdx int, data line.Line
 // placeUnclustered stores a line that did not join a cluster: raw, or —
 // when the 2DCC-style IntraLineFallback extension is enabled — intra-line
 // compressed with BΔI if that helps.
-func (c *Cache) placeUnclustered(e *cache.Entry[tagPayload], tagIdx int, data line.Line) {
+func (c *Cache) placeUnclustered(e *cache.Entry[tagPayload], tagIdx int, data *line.Line) {
 	if c.cfg.IntraLineFallback {
-		if size, ok := bdi.CompressedSize(&data); ok {
+		if size, ok := bdi.CompressedSize(data); ok {
 			e.Payload.fmt = diffenc.FormatIntra
-			c.encScratch.SetIntra(&data, size)
+			c.encScratch.SetIntra(data, size)
 			c.allocData(e, tagIdx, &c.encScratch)
 			return
 		}
 	}
 	e.Payload.fmt = diffenc.FormatRaw
-	c.encScratch.SetRaw(&data)
+	c.encScratch.SetRaw(data)
 	c.allocData(e, tagIdx, &c.encScratch)
 }
 
@@ -579,7 +794,7 @@ func (c *Cache) decodeEntry(e *cache.Entry[tagPayload]) line.Line {
 		return *base
 	}
 	var out line.Line
-	if err := diffenc.DecodeInto(&out, c.data.Get(int(p.setPtr), int(p.slotIdx)), base); err != nil {
+	if err := diffenc.DecodeInto(&out, c.data.encAt(int(p.setPtr), int(p.slotIdx)), base); err != nil {
 		panic(err)
 	}
 	return out
@@ -593,15 +808,22 @@ func (c *Cache) DecompressionCycles() float64 { return 5 }
 // CriticalDRAMAccesses reports read-path base-cache misses, each of which
 // stalls on a DRAM base-table fetch (§6.4).
 func (c *Cache) CriticalDRAMAccesses() uint64 {
+	c.drainWrites(false)
 	return c.bcache.ReadPath.Total - c.bcache.ReadPath.Hits
 }
 
 // Stats implements llc.Cache.
-func (c *Cache) Stats() llc.Stats { return c.stats }
+func (c *Cache) Stats() llc.Stats {
+	c.drainWrites(false)
+	return c.stats
+}
 
 // ResetStats implements llc.Cache: clears access statistics while
 // preserving cache contents (end-of-warmup semantics).
 func (c *Cache) ResetStats() {
+	// Pending writes arrived before the reset; their effects belong to
+	// the pre-reset epoch exactly as in an unbuffered cache.
+	c.drainWrites(false)
 	c.stats = llc.Stats{}
 	c.extra = ExtraStats{}
 	c.tags.ResetStats()
@@ -614,6 +836,7 @@ func (c *Cache) ResetStats() {
 
 // Footprint implements llc.Cache: the Fig. 13a occupancy metric.
 func (c *Cache) Footprint() llc.Footprint {
+	c.drainWrites(false)
 	return llc.Footprint{
 		ResidentLines:  c.tags.CountValid(),
 		DataBytesUsed:  c.data.UsedBytes(),
@@ -683,6 +906,7 @@ func (c *Cache) Release() llc.StatsSnapshot {
 	if c.table == nil {
 		panic("thesaurus: Release called twice")
 	}
+	c.drainWrites(false)
 	live, valid := c.table.ActiveClusters()
 	snap := &Snapshot{
 		Cfg:      c.cfg,
@@ -713,6 +937,7 @@ func (c *Cache) Release() llc.StatsSnapshot {
 // CheckInvariants cross-validates tag/data/base-table bookkeeping; tests
 // call it after randomized operation sequences.
 func (c *Cache) CheckInvariants() error {
+	c.drainWrites(false)
 	if err := c.data.CheckInvariants(); err != nil {
 		return err
 	}

@@ -1,0 +1,183 @@
+package thesaurus
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+// clusteredLine fabricates content that exercises every encoding family:
+// members of a few synthetic clusters, sparse lines, zero lines, and
+// incompressible noise.
+func clusteredLine(rng *xrand.Rand, protos []line.Line) line.Line {
+	switch rng.Intn(8) {
+	case 0:
+		return line.Zero
+	case 1: // sparse (0+diff territory)
+		var l line.Line
+		for j, n := 0, 1+rng.Intn(5); j < n; j++ {
+			l[rng.Intn(line.Size)] = byte(rng.Uint32())
+		}
+		return l
+	case 2: // noise (raw territory)
+		var l line.Line
+		for w := 0; w < line.WordsPerLine; w++ {
+			l.SetWord(w, rng.Uint64())
+		}
+		return l
+	default: // cluster member: proto plus a few byte flips
+		l := protos[rng.Intn(len(protos))]
+		for j, n := 0, rng.Intn(6); j < n; j++ {
+			l[rng.Intn(line.Size)] ^= byte(1 + rng.Intn(255))
+		}
+		return l
+	}
+}
+
+// checkFingerprintInvariant asserts that every resident placed tag's
+// memoized fingerprint equals a from-scratch projection of its decoded
+// content — the exactness contract the incremental write-hit fast path
+// (changedVsStored + FingerprintDelta) must preserve.
+func checkFingerprintInvariant(t *testing.T, c *Cache) {
+	t.Helper()
+	c.drainWrites(false)
+	c.tags.ForEach(func(_ int, e *cache.Entry[tagPayload]) {
+		if !e.Payload.fpValid {
+			return
+		}
+		data := c.decodeEntry(e)
+		if want := c.hasher.Fingerprint(&data); e.Payload.fp != want {
+			t.Fatalf("addr %#x (%v): memoized fp %#x, content fp %#x",
+				e.Addr, e.Payload.fmt, e.Payload.fp, want)
+		}
+	})
+}
+
+// observation is one externally visible state readout.
+type observation struct {
+	Stats     interface{}
+	Extra     ExtraStats
+	Footprint interface{}
+	CritDRAM  uint64
+}
+
+func observe(c *Cache) observation {
+	return observation{
+		Stats:     c.Stats(),
+		Extra:     c.Extra(),
+		Footprint: c.Footprint(),
+		CritDRAM:  c.CriticalDRAMAccesses(),
+	}
+}
+
+// TestWriteBufferByteIdentity drives identical operation streams through
+// an unbuffered cache and buffered caches of several depths, comparing
+// every externally observable statistic at random observation points and
+// the full decoded contents at the end. Deferred-write batching must be
+// invisible to every reported figure.
+func TestWriteBufferByteIdentity(t *testing.T) {
+	depths := []int{0, 1, 4, 32}
+	caches := make([]*Cache, len(depths))
+	mems := make([]*memory.Store, len(depths))
+	cfg := smallConfig()
+	for i, d := range depths {
+		cfg.WriteBufferDepth = d
+		mems[i] = memory.NewStore()
+		caches[i] = MustNew(cfg, mems[i])
+	}
+
+	protoRng := xrand.New(0xc1a5)
+	protos := make([]line.Line, 4)
+	for i := range protos {
+		for w := 0; w < line.WordsPerLine; w++ {
+			protos[i].SetWord(w, protoRng.Uint64())
+		}
+	}
+
+	rng := xrand.New(0x0b5e53)
+	addrs := make([]line.Addr, 96)
+	for i := range addrs {
+		addrs[i] = line.Addr(i * line.Size)
+	}
+	for op := 0; op < 6000; op++ {
+		addr := addrs[rng.Intn(len(addrs))]
+		kind := rng.Intn(10)
+		data := clusteredLine(rng, protos)
+		for i := range caches {
+			switch {
+			case kind < 5:
+				caches[i].Read(addr)
+			default:
+				caches[i].Write(addr, data)
+			}
+		}
+		if op%257 == 0 || rng.Intn(200) == 0 {
+			want := observe(caches[0])
+			for i := 1; i < len(caches); i++ {
+				if got := observe(caches[i]); !reflect.DeepEqual(got, want) {
+					t.Fatalf("op %d: depth %d observation diverged\ngot  %+v\nwant %+v",
+						op, depths[i], got, want)
+				}
+			}
+		}
+		if op%1501 == 0 {
+			for i := range caches {
+				if err := caches[i].CheckInvariants(); err != nil {
+					t.Fatalf("op %d depth %d: %v", op, depths[i], err)
+				}
+			}
+			checkFingerprintInvariant(t, caches[0])
+		}
+	}
+
+	// End state: decoded contents must agree line by line, and the
+	// release snapshots (everything any figure reads) must be deep-equal.
+	for _, a := range addrs {
+		ref, refHit := caches[0].Read(a)
+		for i := 1; i < len(caches); i++ {
+			got, hit := caches[i].Read(a)
+			if got != ref || hit != refHit {
+				t.Fatalf("addr %#x: depth %d content/hit diverged", a, depths[i])
+			}
+		}
+	}
+	checkFingerprintInvariant(t, caches[0])
+	wb := caches[len(caches)-1].WriteBuffer()
+	if wb.Buffered == 0 || wb.Drains == 0 {
+		t.Fatalf("write buffer never exercised: %+v", wb)
+	}
+	want := caches[0].Release()
+	want.Extra.(*Snapshot).Cfg.WriteBufferDepth = -1 // the only field allowed to differ
+	for i := 1; i < len(caches); i++ {
+		got := caches[i].Release()
+		got.Extra.(*Snapshot).Cfg.WriteBufferDepth = -1
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("depth %d: release snapshot diverged\ngot  %+v\nwant %+v", depths[i], got, want)
+		}
+	}
+}
+
+// TestWriteBufferAdvisoryHit pins the advisory return value: a buffered
+// write reports residency exactly as the deferred operation will find it,
+// including hits on lines that only exist as earlier buffered writes.
+func TestWriteBufferAdvisoryHit(t *testing.T) {
+	cfg := smallConfig()
+	cfg.WriteBufferDepth = 8
+	c := MustNew(cfg, memory.NewStore())
+	var l line.Line
+	l[0] = 1
+	if c.Write(0, l) {
+		t.Fatal("write to an empty cache reported a hit")
+	}
+	if !c.Write(0, l) {
+		t.Fatal("write to a line pending in the buffer reported a miss")
+	}
+	c.Stats() // drain
+	if !c.Write(0, l) {
+		t.Fatal("write to a resident line reported a miss")
+	}
+}
