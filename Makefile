@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck lint build test race fuzz bench benchsmoke bench-json bench-diff cache-identity clean-cache
+.PHONY: ci vet fmtcheck lint allocgate alloc-budget lint-fix-check build test race fuzz bench benchsmoke bench-json bench-diff cache-identity clean-cache
 
-ci: fmtcheck vet lint build test race benchsmoke cache-identity
+ci: fmtcheck vet lint allocgate lint-fix-check build test race benchsmoke cache-identity
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,26 @@ fmtcheck:
 # in lint.allow.
 lint:
 	$(GO) run ./cmd/thesauruslint ./...
+
+# The allocation gate for the zero-alloc hot path
+# (docs/static-analysis.md): the AST pass flags allocation constructs
+# reachable from //thesaurus:hotpath roots (run standalone here with an
+# empty allowlist so entries for the other analyzers don't read as
+# stale), and the escape pass diffs the compiler's -gcflags=-m escape
+# diagnostics on those functions against the committed alloc.budget.
+allocgate:
+	$(GO) run ./cmd/thesauruslint -allow /dev/null -analyzers allocgate,hotpath-pragma ./...
+	$(GO) run ./cmd/thesauruslint -escapes
+
+# Regenerate alloc.budget from the current tree. Review the diff before
+# committing: a count moving up is a new hot-path heap allocation.
+alloc-budget:
+	$(GO) run ./cmd/thesauruslint -escapes -write-budget
+
+# -fix must converge in one pass and never splice overlapping edits;
+# these are the regression tests that pin both properties.
+lint-fix-check:
+	$(GO) test -run 'TestFixIdempotence|TestApplyEditsOverlap' ./internal/lint
 
 build:
 	$(GO) build ./...

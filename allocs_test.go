@@ -176,3 +176,70 @@ func TestDiffencRoundTripAllocFree(t *testing.T) {
 		t.Fatal("round trip corrupted the line")
 	}
 }
+
+func TestThesaurusEvictionCycleAllocFree(t *testing.T) {
+	// Steady-state misses are as hot as hits: a working set 4× the tag
+	// capacity cycles through a deliberately small geometry so every pass
+	// evicts and re-installs most lines — tag victim selection, best-of-n
+	// data victim sampling, startmap churn, and re-encoding included.
+	// After a warm-up pass has populated the backing store's pages and
+	// converged every scratch buffer, the whole eviction cycle must stay
+	// off the heap.
+	cfg := thesaurus.DefaultConfig()
+	cfg.TagEntries = 512
+	cfg.TagWays = 8
+	cfg.DataSets = 32
+	cfg.BaseCacheSets = 8
+	c := thesaurus.MustNew(cfg, memory.NewStore())
+	const cycling = 4 * 512 // 4× the tag capacity
+	for v := uint32(0); v < 2; v++ {
+		for i := 0; i < cycling; i++ {
+			c.Write(addrOf(i), residentLine(i, v))
+		}
+	}
+	v := uint32(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		v ^= 1
+		for i := 0; i < cycling; i++ {
+			c.Write(addrOf(i), residentLine(i, v))
+			c.Read(addrOf(i))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("eviction cycle allocates: %.2f allocs per %d accesses", allocs, 2*cycling)
+	}
+	if s := c.Stats(); s.Writes == s.WriteHits || s.Writebacks == 0 {
+		t.Fatalf("cycle did not evict (writes=%d hits=%d writebacks=%d); geometry too large for the pin",
+			s.Writes, s.WriteHits, s.Writebacks)
+	}
+}
+
+func TestThesaurusWriteDrainAllocFree(t *testing.T) {
+	// The batched re-clustering path (§5.4.2): writes park in the write
+	// buffer and replay through writeNow on a capacity drain or when state
+	// is next observed. Both drain triggers — and the buffered bookkeeping
+	// around them — must stay allocation-free in steady state.
+	c := warmThesaurus(t)
+	depth := thesaurus.DefaultWriteBufferDepth
+	before := c.WriteBuffer()
+	allocs := testing.AllocsPerRun(50, func() {
+		// 2×depth writes force two capacity drains mid-loop…
+		for i := 0; i < 2*depth; i++ {
+			c.Write(addrOf(i), residentLine(i, uint32(i)&1))
+		}
+		// …and half a buffer more leaves residue for an observation drain.
+		for i := 0; i < depth/2; i++ {
+			c.Write(addrOf(i), residentLine(i, 0))
+		}
+		if _, hit := c.Read(addrOf(0)); !hit {
+			t.Fatal("steady-state read missed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("write drain allocates: %.2f allocs per batch", allocs)
+	}
+	after := c.WriteBuffer()
+	if after.CapacityDrains == before.CapacityDrains || after.ObservationDrains == before.ObservationDrains {
+		t.Fatalf("drain triggers not exercised: %+v -> %+v", before, after)
+	}
+}

@@ -16,9 +16,18 @@
 //	-analyzers csv run only the named analyzers
 //	-list         print the suite and exit
 //	-fix          apply machine-applicable suggested fixes in place, then re-lint
+//	-prune-allow  rewrite the allowlist dropping entries that suppress nothing
+//	-escapes      check compiler-proven escapes on hot-path functions against the budget
+//	-budget file  escape budget file (default <module>/alloc.budget)
+//	-write-budget regenerate the escape budget from the current tree
+//
+// -escapes mode replaces the analyzer run: it scans for
+// //thesaurus:hotpath functions, rebuilds their packages with
+// -gcflags=-m, and diffs the compiler's escape diagnostics against the
+// committed alloc.budget (see docs/static-analysis.md).
 //
 // Exit status: 0 when no unsuppressed findings (stale allowlist entries
-// also fail), 1 on findings, 2 on usage or load errors.
+// also fail), 1 on findings or budget drift, 2 on usage or load errors.
 package main
 
 import (
@@ -38,6 +47,10 @@ func main() {
 	analyzersFlag := flag.String("analyzers", "", "comma-separated subset of analyzers to run")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	fix := flag.Bool("fix", false, "apply machine-applicable suggested fixes in place, then re-lint")
+	pruneAllow := flag.Bool("prune-allow", false, "rewrite the allowlist dropping entries that suppress nothing")
+	escapes := flag.Bool("escapes", false, "diff compiler-proven hot-path escapes against the budget")
+	budgetFlag := flag.String("budget", "", "escape budget file (default <module>/alloc.budget)")
+	writeBudget := flag.Bool("write-budget", false, "regenerate the escape budget from the current tree")
 	flag.Parse()
 
 	if *list {
@@ -55,6 +68,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *escapes || *writeBudget {
+		budgetPath := *budgetFlag
+		if budgetPath == "" {
+			budgetPath = filepath.Join(moduleDir, "alloc.budget")
+		}
+		runEscapes(moduleDir, budgetPath, *writeBudget)
+		return
+	}
+
 	runner, err := lint.NewRunner(moduleDir)
 	if err != nil {
 		fatal(err)
@@ -136,6 +159,19 @@ func main() {
 	if runner.Allow != nil {
 		stale = runner.Allow.Stale()
 	}
+	if *pruneAllow {
+		if runner.Allow == nil {
+			fatal(fmt.Errorf("-prune-allow: no allowlist file to prune"))
+		}
+		removed, err := runner.Allow.Prune()
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range removed {
+			fmt.Fprintf(os.Stderr, "thesauruslint: pruned stale allowlist entry (%s %s)\n", e.Analyzer, e.File)
+		}
+		stale = nil
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -206,6 +242,51 @@ func targetDirs(moduleDir, cwd string, args []string) ([]string, error) {
 		dirs = append(dirs, filepath.Join(cwd, a))
 	}
 	return dirs, nil
+}
+
+// runEscapes is -escapes/-write-budget mode: scan for hot-path pragmas,
+// ask the compiler which sites escape, and diff (or regenerate) the
+// committed budget.
+func runEscapes(moduleDir, budgetPath string, write bool) {
+	funcs, err := lint.ScanHotFuncs(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+	sites, err := lint.CollectEscapes(moduleDir, lint.HotPackageDirs(funcs))
+	if err != nil {
+		fatal(err)
+	}
+	attributed := lint.AttributeEscapes(funcs, sites)
+	if write {
+		if err := os.WriteFile(budgetPath, lint.FormatBudget(attributed), 0o644); err != nil {
+			fatal(err)
+		}
+		total := 0
+		for _, s := range attributed {
+			total += len(s)
+		}
+		fmt.Fprintf(os.Stderr, "thesauruslint: wrote %s (%d hot function(s), %d escape site(s))\n",
+			budgetPath, len(attributed), total)
+		return
+	}
+	budget, err := lint.ParseBudget(budgetPath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (run `thesauruslint -escapes -write-budget` to create)", err))
+	}
+	failures := lint.DiffBudget(budget, attributed)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "thesauruslint:", f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "thesauruslint: escape budget: %d failure(s)\n", len(failures))
+		os.Exit(1)
+	}
+	budgeted := 0
+	for _, n := range budget {
+		budgeted += n
+	}
+	fmt.Fprintf(os.Stderr, "thesauruslint: escape budget ok (%d hot function(s), %d budgeted escape site(s))\n",
+		len(budget), budgeted)
 }
 
 func fatal(err error) {

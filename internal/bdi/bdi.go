@@ -8,9 +8,21 @@ package bdi
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/line"
+)
+
+// Decompress failures are package-level sentinels rather than formatted
+// errors: Decompress sits on the hot read path, and even a fatal error
+// return must not heap-allocate.
+var (
+	// ErrUnknownKind marks an Encoded with a Kind outside the enum.
+	ErrUnknownKind = errors.New("bdi: unknown kind")
+	// ErrDeltaCount marks an Encoded whose delta slice length disagrees
+	// with its kind's word geometry.
+	ErrDeltaCount = errors.New("bdi: delta count does not match kind geometry")
 )
 
 // Kind identifies one BΔI encoding.
@@ -130,6 +142,8 @@ func Compress(l *line.Line) Encoded {
 
 // CompressInto is Compress with a caller-owned destination, reusing dst's
 // delta buffer capacity. Any previous contents of *dst are discarded.
+//
+//thesaurus:hotpath
 func CompressInto(dst *Encoded, l *line.Line) {
 	deltas := dst.Deltas[:0]
 	*dst = Encoded{Deltas: deltas}
@@ -298,6 +312,8 @@ func tryFitsNarrow(l *line.Line, k Kind) bool {
 }
 
 // Decompress reconstructs the original line from e.
+//
+//thesaurus:hotpath
 func Decompress(e Encoded) (line.Line, error) {
 	switch e.Kind {
 	case KindUncompressed:
@@ -313,11 +329,11 @@ func Decompress(e Encoded) (line.Line, error) {
 	}
 	g, ok := geomOf(e.Kind)
 	if !ok {
-		return line.Zero, fmt.Errorf("bdi: unknown kind %d", e.Kind)
+		return line.Zero, ErrUnknownKind
 	}
 	n := line.Size / g.wordBytes
 	if len(e.Deltas) != n {
-		return line.Zero, fmt.Errorf("bdi: %s expects %d deltas, got %d", e.Kind, n, len(e.Deltas))
+		return line.Zero, ErrDeltaCount
 	}
 	var out line.Line
 	for i := 0; i < n; i++ {
@@ -342,6 +358,8 @@ func Decompress(e Encoded) (line.Line, error) {
 // that is smaller than a raw line. It runs the feasibility scans only —
 // no delta slice is ever built — so the cache models can consult it on
 // their hot paths allocation-free.
+//
+//thesaurus:hotpath
 func CompressedSize(l *line.Line) (int, bool) {
 	if l.IsZero() {
 		return geometries[KindZeros].sizeBytes, true

@@ -134,6 +134,8 @@ func segsFor(e *bdi.Encoded) int {
 }
 
 // Read implements llc.Cache.
+//
+//thesaurus:hotpath
 func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 	addr = addr.LineAddr()
 	c.stats.Reads++
@@ -154,6 +156,8 @@ func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 // Write implements llc.Cache: the new value is recompressed, which may
 // change the block's size and force evictions within the set (§5.4.2's
 // counterpart in BΔI).
+//
+//thesaurus:hotpath
 func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	addr = addr.LineAddr()
 	c.stats.Writes++

@@ -150,6 +150,8 @@ func (c *Cache) slotOf(fp uint16) *hashSlot {
 }
 
 // Read implements llc.Cache.
+//
+//thesaurus:hotpath
 func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 	addr = addr.LineAddr()
 	c.stats.Reads++
@@ -168,6 +170,8 @@ func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 // Write implements llc.Cache. A write to a shared block detaches the tag
 // (copy-on-write) and re-runs the insertion data path with the new value,
 // which may re-deduplicate against a different block.
+//
+//thesaurus:hotpath
 func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	addr = addr.LineAddr()
 	c.stats.Writes++

@@ -12,10 +12,25 @@
 package diffenc
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 
 	"repro/internal/line"
+)
+
+// Decode failures are package-level sentinels rather than formatted
+// errors: DecodeInto sits on the hot read path, and an error return must
+// not heap-allocate even though every caller treats it as fatal.
+var (
+	// ErrMissingBase marks a base-only or base+diff entry decoded
+	// without its cluster base.
+	ErrMissingBase = errors.New("diffenc: base-referencing entry decoded without base")
+	// ErrUnknownFormat marks an Encoded with a Format outside the enum.
+	ErrUnknownFormat = errors.New("diffenc: unknown format")
+	// ErrMaskMismatch marks a diff entry whose mask popcount disagrees
+	// with its delta count.
+	ErrMaskMismatch = errors.New("diffenc: mask/delta length mismatch")
 )
 
 // SegmentBytes is the data-array allocation granule (§5.2.2).
@@ -178,6 +193,8 @@ func Encode(l, base *line.Line) Encoded {
 // to the steady-state diff size the call is allocation-free, which is
 // what keeps (de)compression off the critical path of the simulated
 // access loop (the software mirror of the paper's §5 discipline).
+//
+//thesaurus:hotpath
 func EncodeInto(dst *Encoded, l, base *line.Line) {
 	var baseMask uint64
 	if base != nil {
@@ -191,6 +208,8 @@ func EncodeInto(dst *Encoded, l, base *line.Line) {
 // fast path computes that mask anyway to decide whether re-encoding is
 // needed at all). The result is identical to EncodeInto(dst, l, base);
 // passing any other mask is a contract violation.
+//
+//thesaurus:hotpath
 func EncodeIntoMasked(dst *Encoded, l *line.Line, baseMask uint64) {
 	encodeWithBaseMask(dst, l, true, baseMask)
 }
@@ -267,6 +286,8 @@ func Decode(e Encoded, base *line.Line) (line.Line, error) {
 // caller-owned storage and no copying of the Encoded value: the hot
 // read path hands the data-array entry in by pointer and decodes straight
 // into its return buffer. On error *dst is left zeroed.
+//
+//thesaurus:hotpath
 func DecodeInto(dst *line.Line, e *Encoded, base *line.Line) error {
 	switch e.Format {
 	case FormatAllZero:
@@ -278,21 +299,21 @@ func DecodeInto(dst *line.Line, e *Encoded, base *line.Line) error {
 	case FormatBaseOnly:
 		if base == nil {
 			*dst = line.Zero
-			return fmt.Errorf("diffenc: base-only entry without base")
+			return ErrMissingBase
 		}
 		*dst = *base
 		return nil
 	case FormatBaseDiff:
 		if base == nil {
 			*dst = line.Zero
-			return fmt.Errorf("diffenc: base+diff entry without base")
+			return ErrMissingBase
 		}
 		return applyDiff(dst, base, e.Mask, e.Deltas)
 	case FormatZeroDiff:
 		return applyDiff(dst, &line.Zero, e.Mask, e.Deltas)
 	default:
 		*dst = line.Zero
-		return fmt.Errorf("diffenc: unknown format %d", e.Format)
+		return ErrUnknownFormat
 	}
 }
 
@@ -301,8 +322,7 @@ func DecodeInto(dst *line.Line, e *Encoded, base *line.Line) error {
 func applyDiff(dst, ref *line.Line, mask uint64, deltas []byte) error {
 	if bits.OnesCount64(mask) != len(deltas) {
 		*dst = line.Zero
-		return fmt.Errorf("diffenc: mask names %d bytes but %d deltas present",
-			bits.OnesCount64(mask), len(deltas))
+		return ErrMaskMismatch
 	}
 	*dst = *ref
 	j := 0

@@ -54,6 +54,8 @@ func (l *Line) Words() [WordsPerLine]uint64 {
 }
 
 // Word returns the i-th 8-byte little-endian word of the line.
+//
+//thesaurus:hotpath
 func (l *Line) Word(i int) uint64 {
 	return binary.LittleEndian.Uint64(l[i*8:])
 }
@@ -64,6 +66,8 @@ func (l *Line) SetWord(i int, v uint64) {
 }
 
 // IsZero reports whether every byte of the line is zero.
+//
+//thesaurus:hotpath
 func (l *Line) IsZero() bool {
 	for i := 0; i < Size; i += 8 {
 		if binary.LittleEndian.Uint64(l[i:]) != 0 {
@@ -92,6 +96,8 @@ func XOR(l, m *Line) Line {
 // from byte i of m. Bit 0 corresponds to byte 0. This is the hot operation
 // of the whole simulator, so it works word-at-a-time: XOR the words, then
 // collapse each non-zero byte to one bit with SWAR shifts.
+//
+//thesaurus:hotpath
 func DiffMask(l, m *Line) uint64 {
 	var mask uint64
 	for i := 0; i < WordsPerLine; i++ {
@@ -126,6 +132,8 @@ func HammingBits(l, m *Line) int {
 
 // NonZeroMask returns a 64-bit mask with bit i set iff byte i of l is
 // non-zero: DiffMask against the all-zero line, without the XOR pass.
+//
+//thesaurus:hotpath
 func (l *Line) NonZeroMask() uint64 {
 	var mask uint64
 	for i := 0; i < WordsPerLine; i++ {
@@ -146,6 +154,8 @@ func (l *Line) NonZeroMask() uint64 {
 // diff-byte count against the all-zero line. Like DiffMask it works
 // word-at-a-time: collapse each non-zero byte to its LSB with SWAR
 // shifts, then popcount.
+//
+//thesaurus:hotpath
 func (l *Line) PopCountNonZero() int {
 	n := 0
 	for i := 0; i < Size; i += 8 {

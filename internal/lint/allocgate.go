@@ -1,0 +1,534 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AllocGate is the static allocation budget for the zero-allocation hot
+// path (docs/static-analysis.md). Functions annotated //thesaurus:hotpath
+// are roots; the analyzer computes the call-graph closure of every root —
+// following calls across module-internal packages and resolving interface
+// method calls to every implementing type in the unit's import closure —
+// and flags allocation constructs anywhere inside it:
+//
+//   - make, new, &T{…}, slice and map composite literals (plain value
+//     struct/array literals are stack-resident and allowed)
+//   - append whose result is not assigned back with `=` (the amortized
+//     scratch-reuse idiom `x = append(x, …)` is the sanctioned shape)
+//   - calls into fmt, errors, sort, reflect, and regexp (formatting and
+//     reflection allocate; hot errors must be package-level sentinels)
+//   - interface conversions that box a non-pointer value, method values
+//     (bound-method closures), and function literals
+//   - string↔[]byte conversions, defer inside a loop, go statements, and
+//     map iteration
+//
+// Descent stops at functions annotated //thesaurus:allocok <reason> — the
+// sanctioned allocation boundaries (cold pool refills, amortized growth).
+// Arguments of panic calls are exempt: a dying process may format its
+// last words. Calls through function values and implicit interface
+// conversions outside call arguments are not tracked; the compiler-proven
+// escape budget (alloc.budget, thesauruslint -escapes) backstops those.
+//
+// Findings are worded identically from whichever analysis unit reaches a
+// construct, so the runner's global dedup collapses multi-root reports.
+var AllocGate = &Analyzer{
+	Name: "allocgate",
+	Doc:  "flag allocation constructs reachable from //thesaurus:hotpath roots",
+	Run:  runAllocGate,
+}
+
+// allocDenyPkgs are standard-library packages whose calls are flagged
+// inside the hot closure. Everything else in the standard library is
+// assumed allocation-free (math/bits, encoding/binary's direct put/get
+// forms); module-internal callees are walked instead of assumed.
+var allocDenyPkgs = []string{"errors", "fmt", "reflect", "regexp", "sort"}
+
+func runAllocGate(pass *Pass) {
+	if !pass.SimPackage {
+		return
+	}
+	w := &allocWalker{
+		pass:    pass,
+		byPkg:   map[*types.Package]*allocUnit{},
+		visited: map[*types.Func]bool{},
+	}
+	w.buildUniverse()
+
+	// Roots: pragma-marked declarations in this unit's non-test files, in
+	// source order (deterministic BFS ⇒ deterministic findings).
+	var queue []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !hasPragmaVerb(fd, pragmaHotPath) || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				queue = append(queue, fn)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fn = origin(fn)
+		if w.visited[fn] {
+			continue
+		}
+		w.visited[fn] = true
+		queue = append(queue, w.checkFunc(fn)...)
+	}
+}
+
+// allocUnit is one package's syntax+types view inside the walker's
+// universe: the current analysis unit plus every module-internal package
+// it transitively imports.
+type allocUnit struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	decls map[types.Object]*ast.FuncDecl
+}
+
+// declIndex maps the unit's function objects to their declarations.
+func (u *allocUnit) declIndex() map[types.Object]*ast.FuncDecl {
+	if u.decls != nil {
+		return u.decls
+	}
+	u.decls = map[types.Object]*ast.FuncDecl{}
+	for _, f := range u.files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if obj := u.info.Defs[fd.Name]; obj != nil {
+					u.decls[obj] = fd
+				}
+			}
+		}
+	}
+	return u.decls
+}
+
+type allocWalker struct {
+	pass    *Pass
+	units   []*allocUnit // current unit first, then imports sorted by path
+	byPkg   map[*types.Package]*allocUnit
+	visited map[*types.Func]bool
+}
+
+// buildUniverse assembles the packages the closure walk can see: the
+// current unit and, through the loader, every module-internal package in
+// its transitive imports (already typechecked as a side effect of loading
+// the unit, so this costs no extra parsing).
+func (w *allocWalker) buildUniverse() {
+	cur := &allocUnit{pkg: w.pass.Pkg, files: w.pass.Files, info: w.pass.Info}
+	w.units = append(w.units, cur)
+	w.byPkg[cur.pkg] = cur
+	if w.pass.loader == nil {
+		return
+	}
+	seen := map[string]bool{}
+	var paths []string
+	var visit func(p *types.Package)
+	visit = func(p *types.Package) {
+		for _, imp := range p.Imports() {
+			path := imp.Path()
+			if seen[path] || !w.moduleInternal(path) {
+				continue
+			}
+			seen[path] = true
+			paths = append(paths, path)
+			visit(imp)
+		}
+	}
+	visit(w.pass.Pkg)
+	sort.Strings(paths)
+	for _, p := range paths {
+		if mu := w.pass.loader.moduleUnit(p); mu != nil {
+			if _, ok := w.byPkg[mu.Pkg]; !ok {
+				u := &allocUnit{pkg: mu.Pkg, files: mu.Files, info: mu.Info}
+				w.units = append(w.units, u)
+				w.byPkg[mu.Pkg] = u
+			}
+		}
+	}
+}
+
+func (w *allocWalker) moduleInternal(path string) bool {
+	mp := w.pass.loader.ModulePath
+	return path == mp || strings.HasPrefix(path, mp+"/")
+}
+
+// origin normalizes instantiated generic methods/functions to their
+// declared form, which is what the declaration indexes are keyed by.
+func origin(fn *types.Func) *types.Func {
+	if o := fn.Origin(); o != nil {
+		return o
+	}
+	return fn
+}
+
+// declOf resolves a function to its declaring unit and syntax, or nils
+// when the body is outside the universe (stdlib, assembly, fixtures).
+func (w *allocWalker) declOf(fn *types.Func) (*allocUnit, *ast.FuncDecl) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil, nil
+	}
+	u := w.byPkg[pkg]
+	if u == nil {
+		if w.pass.loader == nil || !w.moduleInternal(pkg.Path()) {
+			return nil, nil
+		}
+		mu := w.pass.loader.moduleUnit(pkg.Path())
+		if mu == nil || mu.Pkg != pkg {
+			return nil, nil
+		}
+		u = &allocUnit{pkg: mu.Pkg, files: mu.Files, info: mu.Info}
+		w.units = append(w.units, u)
+		w.byPkg[mu.Pkg] = u
+	}
+	return u, u.declIndex()[fn]
+}
+
+// funcLabel renders a function for findings: Fingerprint, (*Cache).Read.
+// The label depends only on the function itself so that reports are
+// identical from whichever unit reaches it.
+func funcLabel(fn *types.Func) string {
+	fn = origin(fn)
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" })
+		return "(" + strings.TrimSuffix(t, ".") + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// checkFunc walks one closure member's body, reporting allocation
+// constructs and returning the module-internal callees to visit next.
+func (w *allocWalker) checkFunc(fn *types.Func) []*types.Func {
+	u, decl := w.declOf(fn)
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+	if hasPragmaVerb(decl, pragmaAllocOK) {
+		return nil // sanctioned allocation boundary: do not descend
+	}
+	label := funcLabel(fn)
+	var callees []*types.Func
+	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					w.pass.Reportf(x.Pos(),
+						"&composite literal in hot-path function %s heap-allocates; use a value struct or a pooled object", label)
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			switch u.info.TypeOf(x).Underlying().(type) {
+			case *types.Slice:
+				w.pass.Reportf(x.Pos(),
+					"slice literal in hot-path function %s allocates backing storage; reuse a preallocated scratch slice", label)
+				return false
+			case *types.Map:
+				w.pass.Reportf(x.Pos(),
+					"map literal in hot-path function %s allocates; hoist the map to construction", label)
+				return false
+			}
+			// Value struct/array literals live on the stack: allowed.
+		case *ast.CallExpr:
+			return w.checkCall(u, x, stack, label, &callees)
+		case *ast.RangeStmt:
+			if isMap(u.info.TypeOf(x.X)) {
+				w.pass.Reportf(x.Pos(),
+					"map iteration in hot-path function %s: randomized order and hash walking do not belong on the hot path; use an index- or slice-backed structure", label)
+			}
+		case *ast.DeferStmt:
+			if inLoop(stack) {
+				w.pass.Reportf(x.Pos(),
+					"defer inside a loop in hot-path function %s allocates per iteration; move the defer out of the loop", label)
+			}
+		case *ast.GoStmt:
+			w.pass.Reportf(x.Pos(),
+				"go statement in hot-path function %s allocates a goroutine stack; hoist worker startup out of the hot path", label)
+		case *ast.FuncLit:
+			w.pass.Reportf(x.Pos(),
+				"function literal in hot-path function %s allocates a closure; hoist it to construction or inline the logic", label)
+			return false
+		case *ast.SelectorExpr:
+			if sel := u.info.Selections[x]; sel != nil && sel.Kind() == types.MethodVal && !isCallFun(stack, x) {
+				w.pass.Reportf(x.Pos(),
+					"method value %s.%s in hot-path function %s allocates a bound-method closure; call the method directly",
+					exprText(x.X), x.Sel.Name, label)
+			}
+		}
+		return true
+	})
+	return callees
+}
+
+// checkCall handles one call expression: allocation built-ins, the append
+// discipline, conversions, boxing call arguments, denylisted standard
+// library packages, and callee collection. Returns false to prune the
+// subtree (panic arguments are exempt from the gate).
+func (w *allocWalker) checkCall(u *allocUnit, call *ast.CallExpr, stack []ast.Node, label string, callees *[]*types.Func) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := objectOf(u.info, id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "panic":
+				return false // a dying process may format its last words
+			case "make":
+				w.pass.Reportf(call.Pos(),
+					"make in hot-path function %s allocates; hoist the allocation to construction or mark a sanctioned boundary //thesaurus:allocok <reason>", label)
+			case "new":
+				w.pass.Reportf(call.Pos(),
+					"new in hot-path function %s allocates; hoist to construction or use a stack value", label)
+			case "append":
+				if !appendAssignedBack(call, stack) {
+					w.pass.Reportf(call.Pos(),
+						"append in hot-path function %s does not assign its result back with =; use the x = append(x, …) scratch-reuse idiom so capacity amortizes", label)
+				}
+			}
+			return true
+		}
+	}
+	// Conversion? T(x) allocates when T is an interface boxing a value, or
+	// for string↔[]byte/[]rune copies.
+	if tv, ok := u.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		src := u.info.TypeOf(call.Args[0])
+		if types.IsInterface(dst) && src != nil && !types.IsInterface(src) && !pointerShaped(src) {
+			w.pass.Reportf(call.Pos(),
+				"conversion to interface in hot-path function %s boxes a %s on the heap; pass a pointer or keep the call monomorphic",
+				label, typeLabel(src))
+		}
+		if stringBytesConversion(dst, src) {
+			w.pass.Reportf(call.Pos(),
+				"string/byte-slice conversion in hot-path function %s copies and allocates; keep one representation on the hot path", label)
+		}
+		return true
+	}
+	fn := calleeFunc(u.info, call)
+	if fn == nil {
+		return true // call through a function value: not tracked (see doc)
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		// Interface method call: class-hierarchy analysis over the
+		// universe stands in for the unknowable dynamic type.
+		w.boxingArgs(u, call, sig, label)
+		*callees = append(*callees, w.implementations(sig.Recv().Type(), fn.Name())...)
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		path := pkg.Path()
+		for _, deny := range allocDenyPkgs {
+			if path == deny {
+				w.pass.Reportf(call.Pos(),
+					"call to %s.%s in hot-path function %s allocates; precompute, use package-level sentinel errors, or mark a sanctioned boundary //thesaurus:allocok <reason>",
+					path, fn.Name(), label)
+				return true
+			}
+		}
+		if sig != nil {
+			w.boxingArgs(u, call, sig, label)
+		}
+		if w.pass.loader != nil && w.moduleInternal(path) || w.byPkg[pkg] != nil {
+			*callees = append(*callees, fn)
+		}
+	}
+	return true
+}
+
+// boxingArgs flags arguments boxed into interface parameters: the
+// conversion is implicit at the call site but allocates all the same.
+func (w *allocWalker) boxingArgs(u *allocUnit, call *ast.CallExpr, sig *types.Signature, label string) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		default:
+			continue
+		}
+		at := u.info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		w.pass.Reportf(arg.Pos(),
+			"argument boxes a %s into an interface parameter in hot-path function %s; pass a pointer or keep the call monomorphic",
+			typeLabel(at), label)
+	}
+}
+
+// implementations resolves an interface method to the concrete methods of
+// every implementing type visible in the universe, in deterministic
+// (unit, declaration-name) order.
+func (w *allocWalker) implementations(recv types.Type, name string) []*types.Func {
+	iface, _ := recv.Underlying().(*types.Interface)
+	if iface == nil {
+		return nil
+	}
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	for _, u := range w.units {
+		scope := u.pkg.Scope()
+		names := scope.Names() // already sorted
+		for _, n := range names {
+			tn, ok := scope.Lookup(n).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			T := tn.Type()
+			if types.IsInterface(T) {
+				continue
+			}
+			var impl types.Type
+			switch {
+			case types.Implements(T, iface):
+				impl = T
+			case types.Implements(types.NewPointer(T), iface):
+				impl = types.NewPointer(T)
+			default:
+				continue
+			}
+			obj, _, _ := types.LookupFieldOrMethod(impl, true, u.pkg, name)
+			if m, ok := obj.(*types.Func); ok {
+				m = origin(m)
+				if !seen[m] {
+					seen[m] = true
+					out = append(out, m)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// appendAssignedBack reports whether the append call's result is stored
+// with a plain `=` assignment — the amortized scratch-reuse idiom. A `:=`
+// binding, return value, or argument position starts a fresh slice the
+// caller did not size.
+func appendAssignedBack(call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			if p.Tok != token.ASSIGN {
+				return false
+			}
+			for _, rhs := range p.Rhs {
+				if ast.Unparen(rhs) == call {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// inLoop reports whether the nearest enclosing loop is inside the same
+// function as the node (the stack is rooted at the walked body).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+// isCallFun reports whether sel is the function operand of its parent
+// call (a plain method call, not a method value).
+func isCallFun(stack []ast.Node, sel ast.Expr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			return ast.Unparen(p.Fun) == sel
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// allocating: pointers, channels, maps, functions, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// stringBytesConversion reports the allocating string↔[]byte/[]rune
+// conversion shapes.
+func stringBytesConversion(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteish := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Uint8 || e.Kind() == types.Rune || e.Kind() == types.Int32)
+	}
+	if src == nil {
+		return false
+	}
+	return (isStr(dst) && isByteish(src)) || (isByteish(dst) && isStr(src))
+}
+
+// typeLabel renders a type without package qualification, for stable
+// cross-unit messages.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(*types.Package) string { return "" })
+}
+
+// exprText renders a short source-ish form of simple receiver
+// expressions for method-value findings.
+func exprText(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	}
+	return "expr"
+}

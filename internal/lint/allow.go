@@ -85,3 +85,45 @@ func (al *Allowlist) Stale() []*AllowEntry {
 	}
 	return out
 }
+
+// Prune rewrites the allowlist source file dropping the entries that
+// suppressed nothing in the last run, preserving comments, blank lines,
+// and the order of surviving entries byte-for-byte. It returns the
+// removed entries; when nothing is stale the file is left untouched.
+func (al *Allowlist) Prune() ([]*AllowEntry, error) {
+	stale := al.Stale()
+	if len(stale) == 0 {
+		return nil, nil
+	}
+	data, err := os.ReadFile(al.Source)
+	if err != nil {
+		return nil, err
+	}
+	drop := map[int]bool{}
+	for _, e := range stale {
+		drop[e.Line] = true
+	}
+	lines := strings.Split(string(data), "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // trailing newline, restored below
+	}
+	var b strings.Builder
+	for i, ln := range lines {
+		if drop[i+1] {
+			continue
+		}
+		b.WriteString(ln)
+		b.WriteString("\n")
+	}
+	if err := os.WriteFile(al.Source, []byte(b.String()), 0o644); err != nil {
+		return nil, err
+	}
+	var kept []*AllowEntry
+	for _, e := range al.Entries {
+		if !drop[e.Line] {
+			kept = append(kept, e)
+		}
+	}
+	al.Entries = kept
+	return stale, nil
+}

@@ -164,3 +164,139 @@ func TestMapOrderFixApplies(t *testing.T) {
 		t.Errorf("applied fix did not silence the finding: %s", d)
 	}
 }
+
+// TestApplyEditsOverlap pins the overlap discipline: when two fixes
+// rewrite intersecting spans, the one applied first (highest offset)
+// wins and the other is dropped whole, never spliced into the first's
+// replacement text. The sanctioned same-offset pairing — a replacement
+// plus an insertion at the same point — must keep working.
+func TestApplyEditsOverlap(t *testing.T) {
+	src := []byte("0123456789")
+	cases := []struct {
+		name  string
+		edits []TextEdit
+		want  string
+	}{
+		{
+			"intersecting replacements drop the later span",
+			[]TextEdit{
+				{Offset: 2, End: 6, NewText: "AB"},
+				{Offset: 4, End: 8, NewText: "CD"},
+			},
+			"0123CD89",
+		},
+		{
+			"enclosing span dropped after inner span applied",
+			[]TextEdit{
+				{Offset: 2, End: 8, NewText: "W"},
+				{Offset: 3, End: 5, NewText: "zz"},
+			},
+			"012zz56789",
+		},
+		{
+			"same-offset replacement and insertion both apply",
+			[]TextEdit{
+				{Offset: 2, End: 2, NewText: "X"},
+				{Offset: 2, End: 5, NewText: "Y"},
+			},
+			"01XY56789",
+		},
+		{
+			"exact duplicates apply once",
+			[]TextEdit{
+				{Offset: 2, End: 4, NewText: "Q"},
+				{Offset: 2, End: 4, NewText: "Q"},
+			},
+			"01Q456789",
+		},
+		{
+			"adjacent spans both apply",
+			[]TextEdit{
+				{Offset: 2, End: 4, NewText: "A"},
+				{Offset: 4, End: 6, NewText: "B"},
+			},
+			"01AB6789",
+		},
+	}
+	for _, c := range cases {
+		if got := string(ApplyEdits(src, c.edits)); got != c.want {
+			t.Errorf("%s: got %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestFixIdempotence is the -fix convergence gate: applying fixes to the
+// fixture, re-linting the rewritten sources, and applying again must
+// rewrite nothing and leave the files byte-identical. A fix that spawns
+// new fixable findings (or re-offers itself) would loop here.
+func TestFixIdempotence(t *testing.T) {
+	r := testRunner(t)
+	pkgDir := filepath.Join(t.TempDir(), "fixmaporder")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "src", "fixmaporder"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		src, err := os.ReadFile(filepath.Join("testdata", "src", "fixmaporder", de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(pkgDir, de.Name()), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	diags, err := r.CheckDirAs(pkgDir, "repro/internal/fixmaporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edit paths for files outside the module stay absolute, so fixes
+	// land on the temp copy.
+	fixed, err := ApplyFixes(r.Loader.ModuleDir, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) == 0 {
+		t.Fatal("first pass applied no fixes")
+	}
+	after := map[string][]byte{}
+	for _, de := range entries {
+		data, err := os.ReadFile(filepath.Join(pkgDir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		after[de.Name()] = data
+	}
+
+	// Second pass over the rewritten sources: a fresh runner, exactly as
+	// the CLI re-lints after -fix.
+	r2 := testRunner(t)
+	diags2, err := r2.CheckDirAs(pkgDir, "repro/internal/fixmaporder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags2 {
+		if len(d.Fixes) != 0 {
+			t.Errorf("second pass still offers a fix: %s", d)
+		}
+	}
+	fixed2, err := ApplyFixes(r2.Loader.ModuleDir, diags2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed2) != 0 {
+		t.Errorf("second pass rewrote %v; -fix must converge in one pass", fixed2)
+	}
+	for _, de := range entries {
+		data, err := os.ReadFile(filepath.Join(pkgDir, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != string(after[de.Name()]) {
+			t.Errorf("%s changed between passes", de.Name())
+		}
+	}
+}

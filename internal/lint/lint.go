@@ -65,6 +65,11 @@ type TextEdit struct {
 // the original src, so they are applied in reverse offset order. Exact
 // duplicates are applied once: fixes from different findings in one file
 // may each carry the same prerequisite edit (e.g. adding an import).
+// Edits that overlap an already-applied edit are dropped — two fixes
+// rewriting intersecting spans cannot both be honored, and applying the
+// second into the first's replacement text would corrupt the file; the
+// surviving diagnostics after the re-lint pass pick up whatever the
+// dropped fix addressed.
 func ApplyEdits(src []byte, edits []TextEdit) []byte {
 	sorted := append([]TextEdit(nil), edits...)
 	sort.Slice(sorted, func(i, j int) bool {
@@ -81,6 +86,9 @@ func ApplyEdits(src []byte, edits []TextEdit) []byte {
 		return sorted[i].NewText > sorted[j].NewText
 	})
 	out := append([]byte(nil), src...)
+	// minApplied is the lowest original offset any applied edit touched;
+	// a later (lower-offset) edit whose span crosses it overlaps.
+	minApplied := len(src)
 	for i, e := range sorted {
 		if i > 0 && e == sorted[i-1] {
 			continue
@@ -88,7 +96,11 @@ func ApplyEdits(src []byte, edits []TextEdit) []byte {
 		if e.Offset < 0 || e.End < e.Offset || e.End > len(out) {
 			continue
 		}
+		if e.End > minApplied {
+			continue
+		}
 		out = append(out[:e.Offset], append([]byte(e.NewText), out[e.End:]...)...)
+		minApplied = e.Offset
 	}
 	return out
 }
@@ -111,6 +123,10 @@ type Pass struct {
 
 	analyzer string
 	report   func(Diagnostic)
+	// loader gives interprocedural analyzers (allocgate) access to the
+	// bodies of module-internal packages the unit imports. Nil in
+	// hand-built passes; analyzers must tolerate that.
+	loader *Loader
 }
 
 // InTestFile reports whether pos lies in a _test.go file.
@@ -152,6 +168,8 @@ func Analyzers() []*Analyzer {
 		XRandSeed,
 		FloatOrder,
 		ReleaseUse,
+		HotPathPragma,
+		AllocGate,
 	}
 }
 
@@ -216,19 +234,7 @@ func (r *Runner) CheckDirs(dirs []string) ([]Diagnostic, error) {
 		}
 		diags = append(diags, ds...)
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		if a.Col != b.Col {
-			return a.Col < b.Col
-		}
-		return a.Analyzer < b.Analyzer
-	})
+	diags = sortAndDedupe(diags)
 	if r.Allow != nil {
 		for i := range diags {
 			if r.Allow.Covers(diags[i]) {
@@ -247,6 +253,15 @@ func (r *Runner) CheckDirAs(dir, asPath string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
+	return sortAndDedupe(diags), nil
+}
+
+// sortAndDedupe orders diagnostics by file, line, column, analyzer,
+// message and drops exact duplicates. The interprocedural allocgate pass
+// can reach the same construct from hot-path roots in several analysis
+// units (its messages are unit-independent for exactly this reason), so
+// one construct must surface as one finding.
+func sortAndDedupe(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -258,9 +273,23 @@ func (r *Runner) CheckDirAs(dir, asPath string) ([]Diagnostic, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 {
+			p := diags[i-1]
+			if d.File == p.File && d.Line == p.Line && d.Col == p.Col &&
+				d.Analyzer == p.Analyzer && d.Message == p.Message {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
 }
 
 func (r *Runner) checkDir(dir, asPath string) ([]Diagnostic, error) {
@@ -279,6 +308,7 @@ func (r *Runner) checkDir(dir, asPath string) ([]Diagnostic, error) {
 				Pkg:        u.Pkg,
 				Info:       u.Info,
 				analyzer:   a.Name,
+				loader:     r.Loader,
 			}
 			pass.report = func(d Diagnostic) {
 				rel := func(p string) string {

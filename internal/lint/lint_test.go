@@ -84,6 +84,38 @@ func TestFixtureGolden(t *testing.T) {
 	}
 }
 
+// TestFixtureAllocGolden pins the hot-path allocation gate on its
+// dedicated fixture: every construct class allocgate knows, the
+// interprocedural cases (pragma on a method, reachable only via an
+// interface, allocok boundary), and the full hotpath-pragma grammar.
+// Only the two hot-path analyzers may fire there — any other analyzer's
+// finding means the fixture (or an analyzer) overreached.
+func TestFixtureAllocGolden(t *testing.T) {
+	r := testRunner(t)
+	lines := checkFixture(t, r, "fixalloc", "repro/internal/fixalloc")
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "fixalloc.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run Golden -update ./internal/lint` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+
+	for _, ln := range lines {
+		if !strings.Contains(ln, ": allocgate: ") && !strings.Contains(ln, ": hotpath-pragma: ") {
+			t.Errorf("non-hot-path analyzer fired in the alloc fixture: %s", ln)
+		}
+	}
+}
+
 // TestFixtureClean: a package written in the sanctioned style produces
 // zero diagnostics.
 func TestFixtureClean(t *testing.T) {
@@ -161,6 +193,62 @@ func TestAllowlist(t *testing.T) {
 	}
 	if len(al.Stale()) != 0 {
 		t.Error("used entry still reported stale")
+	}
+}
+
+// TestAllowlistPrune: pruning drops exactly the stale entries, preserves
+// comments, blank lines, and live entries byte-for-byte, and the pruned
+// file round-trips through the parser.
+func TestAllowlistPrune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.allow")
+	content := "# header comment\n\n" +
+		"maporder internal/foo/foo.go iteration audited, order provably irrelevant\n" +
+		"xrand-seed internal/bar/bar.go correlation is the property under test\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	al, err := ParseAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	al.Covers(Diagnostic{Analyzer: "maporder", File: "internal/foo/foo.go"})
+
+	removed, err := al.Prune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0].Analyzer != "xrand-seed" {
+		t.Fatalf("removed = %+v, want the stale xrand-seed entry", removed)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# header comment\n\n" +
+		"maporder internal/foo/foo.go iteration audited, order provably irrelevant\n"
+	if string(got) != want {
+		t.Errorf("pruned file:\n%q\nwant:\n%q", got, want)
+	}
+
+	reparsed, err := ParseAllowlist(path)
+	if err != nil {
+		t.Fatalf("pruned file does not round-trip: %v", err)
+	}
+	if len(reparsed.Entries) != 1 || reparsed.Entries[0].Analyzer != "maporder" {
+		t.Fatalf("round trip entries = %+v", reparsed.Entries)
+	}
+
+	// Nothing stale: a second prune is a no-op that leaves the bytes alone.
+	reparsed.Covers(Diagnostic{Analyzer: "maporder", File: "internal/foo/foo.go"})
+	if removed, err := reparsed.Prune(); err != nil || len(removed) != 0 {
+		t.Fatalf("second prune removed %+v, err %v", removed, err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != want {
+		t.Errorf("no-op prune changed the file:\n%q", again)
 	}
 }
 

@@ -27,25 +27,28 @@ type Loader struct {
 
 	src  types.ImporterFrom
 	pkgs map[string]*types.Package // import path → typechecked (non-test files only)
+	// units retains the syntax and type information behind pkgs so
+	// interprocedural analyses (allocgate) can follow calls into other
+	// module packages and read the callee bodies.
+	units map[string]*moduleUnit
+}
+
+// moduleUnit is the retained load state of one module-internal package as
+// imported (non-test files only): enough to resolve a *types.Func from a
+// caller in another package to its declaration.
+type moduleUnit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
 }
 
 // NewLoader builds a Loader for the module rooted at moduleDir (the
 // directory containing go.mod).
 func NewLoader(moduleDir string) (*Loader, error) {
-	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	modPath, err := readModulePath(moduleDir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: reading go.mod: %w", err)
-	}
-	modPath := ""
-	for _, ln := range strings.Split(string(data), "\n") {
-		ln = strings.TrimSpace(ln)
-		if rest, ok := strings.CutPrefix(ln, "module "); ok {
-			modPath = strings.TrimSpace(rest)
-			break
-		}
-	}
-	if modPath == "" {
-		return nil, fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+		return nil, err
 	}
 	fset := token.NewFileSet()
 	l := &Loader{
@@ -53,6 +56,7 @@ func NewLoader(moduleDir string) (*Loader, error) {
 		ModuleDir:  moduleDir,
 		ModulePath: modPath,
 		pkgs:       map[string]*types.Package{},
+		units:      map[string]*moduleUnit{},
 	}
 	l.src = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
@@ -98,14 +102,31 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 		if err != nil {
 			return nil, err
 		}
-		pkg, _, err := l.check(path, files)
+		pkg, info, err := l.check(path, files)
 		if err != nil {
 			return nil, err
 		}
 		l.pkgs[path] = pkg
+		l.units[path] = &moduleUnit{Path: path, Files: files, Pkg: pkg, Info: info}
 		return pkg, nil
 	}
 	return l.src.ImportFrom(path, srcDir, mode)
+}
+
+// moduleUnit returns the retained load state for a module-internal import
+// path, importing it on first use. Returns nil for paths outside the
+// module or that fail to load (the caller treats the package as opaque).
+func (l *Loader) moduleUnit(path string) *moduleUnit {
+	if u, ok := l.units[path]; ok {
+		return u
+	}
+	if path != l.ModulePath && !strings.HasPrefix(path, l.ModulePath+"/") {
+		return nil
+	}
+	if _, err := l.ImportFrom(path, l.ModuleDir, 0); err != nil {
+		return nil
+	}
+	return l.units[path]
 }
 
 // parseDir parses the .go files of dir that pass keep, in sorted name

@@ -1,0 +1,206 @@
+// Package fixalloc is the allocgate violation fixture. Every allocation
+// construct the gate knows is staged inside a //thesaurus:hotpath
+// closure and paired with its sanctioned counterpart, so the golden
+// diagnostics pin both what the analyzer catches and what it leaves
+// alone. The pragma-grammar violations for hotpath-pragma live in
+// pragmas.go; the test-file case lives in fixalloc_test.go.
+package fixalloc
+
+import "fmt"
+
+type counter struct{ n int }
+
+// The core allocation builtins (allocgate: make, new, &composite,
+// slice literal, map literal).
+//
+//thesaurus:hotpath
+func allocBuiltins(n int) int {
+	buf := make([]byte, n)
+	p := new(int)
+	c := &counter{}
+	s := []int{1, 2}
+	m := map[int]int{}
+	return len(buf) + *p + c.n + s[0] + len(m)
+}
+
+// Value struct and array literals are stack-resident (clean).
+//
+//thesaurus:hotpath
+func valueLiterals() int {
+	c := counter{n: 1}
+	a := [4]int{1, 2, 3, 4}
+	return c.n + a[0]
+}
+
+// An append bound with := starts a fresh heap slice (allocgate).
+//
+//thesaurus:hotpath
+func appendFresh(xs []int) int {
+	ys := append(xs, 1)
+	return len(ys)
+}
+
+// x = append(x, …) amortizes into caller-provided capacity (clean).
+//
+//thesaurus:hotpath
+func appendScratch(dst []int, k int) []int {
+	dst = append(dst, k)
+	return dst
+}
+
+// Formatting on the hot path (allocgate: denylisted fmt call).
+//
+//thesaurus:hotpath
+func hotFormat(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// Panic arguments are exempt: a dying process may format its last words
+// (clean).
+//
+//thesaurus:hotpath
+func hotGuard(v int) int {
+	if v < 0 {
+		panic(fmt.Sprintf("fixalloc: negative %d", v))
+	}
+	return v
+}
+
+// Explicit conversions that box or copy (allocgate: interface boxing,
+// string↔[]byte).
+//
+//thesaurus:hotpath
+func boxing(v int, s string) (any, int) {
+	b := []byte(s)
+	return any(v), len(b)
+}
+
+// consume has an interface parameter; passing a value boxes it at the
+// call site even though the conversion is implicit.
+func consume(v any) int {
+	if n, ok := v.(int); ok {
+		return n
+	}
+	return 0
+}
+
+// Implicit boxing into an interface parameter (allocgate).
+//
+//thesaurus:hotpath
+func boxingArg(v int) int {
+	return consume(v)
+}
+
+// Pointer-shaped arguments fit the interface word without boxing
+// (clean).
+//
+//thesaurus:hotpath
+func pointerArg(c *counter) int {
+	return consume(c)
+}
+
+// decoder is the reachable-via-interface case: the closure walk resolves
+// d.decode to every implementing type in the universe.
+type decoder interface{ decode(n int) int }
+
+type rawDec struct{}
+
+func (rawDec) decode(n int) int { return n }
+
+type heapDec struct{}
+
+// Reached only through the decoder interface (allocgate: make inside).
+func (heapDec) decode(n int) int {
+	buf := make([]byte, n)
+	return len(buf)
+}
+
+// The interface call itself is clean; the findings land in the
+// implementations.
+//
+//thesaurus:hotpath
+func viaInterface(d decoder, n int) int {
+	return d.decode(n)
+}
+
+// chainHelper is reached transitively through a plain call (allocgate:
+// new here, labelled with the helper, not the root).
+func chainHelper(n int) *int {
+	p := new(int)
+	*p = n
+	return p
+}
+
+// The root of the plain-call chain (clean itself).
+//
+//thesaurus:hotpath
+func hotChain(n int) int {
+	return *chainHelper(n)
+}
+
+// ring is the pragma-on-method case.
+type ring struct {
+	buf []int
+	pos int
+}
+
+// Push is a hot-path root declared on a method; its steady state stays
+// inside caller-owned storage (clean).
+//
+//thesaurus:hotpath
+func (r *ring) Push(v int) {
+	if r.pos == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.pos] = v
+	r.pos++
+}
+
+// grow is a sanctioned boundary: the walk does not descend, so the
+// make/append inside stay unflagged (clean).
+//
+//thesaurus:allocok amortized capacity growth off the steady-state path
+func (r *ring) grow() {
+	next := make([]int, 2*len(r.buf)+1)
+	copy(next, r.buf)
+	r.buf = next
+}
+
+// Drain is a method root that allocates its result (allocgate: make).
+//
+//thesaurus:hotpath
+func (r *ring) Drain() []int {
+	out := make([]int, r.pos)
+	copy(out, r.buf[:r.pos])
+	r.pos = 0
+	return out
+}
+
+// Closure and scheduling constructs (allocgate: method value, function
+// literal, go statement, map iteration, defer in loop).
+//
+//thesaurus:hotpath
+func closures(r *ring, m map[int]int) int {
+	f := r.Push
+	g := func(x int) int { return x }
+	go g(1)
+	total := 0
+	for k, v := range m {
+		defer r.grow()
+		total += k + v
+	}
+	f(total)
+	return g(total)
+}
+
+// Direct calls and slice-backed iteration (clean).
+//
+//thesaurus:hotpath
+func direct(r *ring, xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	r.Push(total)
+	return total
+}

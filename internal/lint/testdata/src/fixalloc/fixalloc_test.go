@@ -1,0 +1,9 @@
+package fixalloc
+
+// Test-only roots gate nothing in production (hotpath-pragma: pragma in
+// a _test.go file; allocgate ignores the root entirely).
+//
+//thesaurus:hotpath
+func testOnlyRoot(n int) []byte {
+	return make([]byte, n)
+}

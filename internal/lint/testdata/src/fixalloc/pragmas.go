@@ -1,0 +1,37 @@
+// Pragma-grammar violations, one per hotpath-pragma clause. The
+// functions themselves are empty: only the directives are under test.
+package fixalloc
+
+// hotpath configures nothing (hotpath-pragma: unexpected argument).
+//
+//thesaurus:hotpath every call
+func argPragma() {}
+
+// The audit trail is mandatory (hotpath-pragma: missing reason).
+//
+//thesaurus:allocok
+func bareAllocOK() {}
+
+// Misspelled verb (hotpath-pragma: unknown pragma).
+//
+//thesaurus:hotpth
+func typoVerb() {}
+
+// Restated directive (hotpath-pragma: duplicate).
+//
+//thesaurus:hotpath
+//thesaurus:hotpath
+func doubled() {}
+
+// A function cannot be a root and a boundary at once (hotpath-pragma:
+// conflict).
+//
+//thesaurus:hotpath
+//thesaurus:allocok it cannot be both
+func conflicted() {}
+
+// A directive inside a body binds to nothing (hotpath-pragma: detached).
+func detachedHost() int {
+	//thesaurus:hotpath
+	return 0
+}

@@ -204,3 +204,43 @@ func indexedSum(xs []float64) float64 {
 	}
 	return sum
 }
+
+// A hot-path root that allocates a fresh result per call (allocgate).
+//
+//thesaurus:hotpath
+func hotCollect(keys []int) []int {
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k)
+	}
+	return out
+}
+
+// The sanctioned shape reuses a caller-provided scratch slice (clean).
+//
+//thesaurus:hotpath
+func hotCollectInto(dst, keys []int) []int {
+	dst = dst[:0]
+	for _, k := range keys {
+		dst = append(dst, k)
+	}
+	return dst
+}
+
+// An allocation boundary must state its reason (hotpath-pragma).
+//
+//thesaurus:allocok
+func coldGrow(xs []int) []int {
+	grown := make([]int, len(xs), 2*len(xs)+1)
+	copy(grown, xs)
+	return grown
+}
+
+// A well-formed boundary carries its audit trail (clean).
+//
+//thesaurus:allocok amortized growth off the steady-state path
+func coldGrowAudited(xs []int) []int {
+	grown := make([]int, len(xs), 2*len(xs)+1)
+	copy(grown, xs)
+	return grown
+}

@@ -224,6 +224,8 @@ func (h *Hasher) NumFingerprints() int { return 1 << uint(h.cfg.Bits) }
 // unbalanced carries a fixed bias of ±128·Δ that swamps the content and
 // freezes the bit, collapsing the fingerprint entropy. Centering costs a
 // single XOR of the top bit per operand in hardware.
+//
+//thesaurus:hotpath
 func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 	var fp Fingerprint
 	// The row-sum body is open-coded here (rather than calling rowSum) to
@@ -256,6 +258,8 @@ func (h *Hasher) Fingerprint(l *line.Line) Fingerprint {
 // their old bit; the touched rows are re-projected from l. The write-hit
 // fast path uses this to turn a full Bits-row projection into one or two
 // row sums when few bytes changed.
+//
+//thesaurus:hotpath
 func (h *Hasher) FingerprintDelta(old Fingerprint, l *line.Line, changedMask uint64) Fingerprint {
 	var touched uint32
 	for m := changedMask; m != 0; m &= m - 1 {
@@ -308,6 +312,8 @@ func maskedSignedByteSum(w, mask uint64) int {
 // sign quantization) to dst and returns the extended slice. It performs
 // no allocation when dst has capacity for Bits more elements, so callers
 // with a reusable buffer project allocation-free.
+//
+//thesaurus:hotpath
 func (h *Hasher) AppendProject(dst []int, l *line.Line) []int {
 	for i := range h.rows {
 		dst = append(dst, rowSum(&h.rows[i], l))

@@ -93,6 +93,8 @@ var pagePool struct {
 const pagePoolCap = 8192
 
 // getPage returns a zeroed, owned page from the pool or the heap.
+//
+//thesaurus:allocok cold pool refill: a first-touch page allocates once, then recycles through the freelist
 func getPage() *page {
 	pagePool.mu.Lock()
 	if n := len(pagePool.free); n > 0 {
@@ -192,6 +194,8 @@ func NewStore() *Store {
 
 // Read returns the content of the line containing addr and counts one
 // access of the given kind.
+//
+//thesaurus:hotpath
 func (s *Store) Read(addr line.Addr, kind AccessKind) line.Line {
 	s.stats.Counts[kind]++
 	if s.latency != nil && kind != BaseTable {
@@ -201,6 +205,8 @@ func (s *Store) Read(addr line.Addr, kind AccessKind) line.Line {
 }
 
 // Write stores data at addr's line and counts one access of the given kind.
+//
+//thesaurus:hotpath
 func (s *Store) Write(addr line.Addr, data line.Line, kind AccessKind) {
 	s.stats.Counts[kind]++
 	if s.latency != nil && kind != BaseTable {
@@ -211,6 +217,8 @@ func (s *Store) Write(addr line.Addr, data line.Line, kind AccessKind) {
 
 // Peek returns the line content without accounting (used by generators,
 // verification, and snapshotting, which model no hardware traffic).
+//
+//thesaurus:hotpath
 func (s *Store) Peek(addr line.Addr) line.Line {
 	return s.get(addr)
 }
@@ -218,6 +226,8 @@ func (s *Store) Peek(addr line.Addr) line.Line {
 // Poke sets the line content without accounting (pre-population of the
 // image before the measured window, mirroring the paper's 100B-instruction
 // warmup skip).
+//
+//thesaurus:hotpath
 func (s *Store) Poke(addr line.Addr, data line.Line) {
 	s.set(addr, data)
 }

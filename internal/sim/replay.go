@@ -146,6 +146,8 @@ func Replay(c llc.Cache, rec *Recorded, st *memory.Store, sys SystemConfig, opt 
 // time-averaged Fig. 13a metrics and the MPKI. Shared by the serial and
 // set-sharded replays so both produce bit-identical derived metrics from
 // identical sums.
+//
+//thesaurus:hotpath
 func finalizeSamples(res *Result, ratioSum, occSum, residentSum float64) {
 	if res.Samples > 0 {
 		res.CompressionRatio = ratioSum / float64(res.Samples)
@@ -164,6 +166,8 @@ func finalizeSamples(res *Result, ratioSum, occSum, residentSum float64) {
 // demandCycles/haveModel carry the backing store's DRAM-model totals
 // (Store.DemandCycles); with a model attached the flat memory latency is
 // replaced by the measured per-access average.
+//
+//thesaurus:hotpath
 func applyTiming(res *Result, rec *Recorded, sys SystemConfig, extraHit float64, critDRAM uint64, demandCycles float64, haveModel bool) {
 	t := sys.Timing
 	measuredInstr := res.Instructions

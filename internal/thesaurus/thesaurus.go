@@ -346,6 +346,8 @@ func (c *Cache) DiffSeries() []float64 {
 }
 
 // Read implements llc.Cache (§5.4.1, Fig. 12).
+//
+//thesaurus:hotpath
 func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 	addr = addr.LineAddr()
 	c.drainWrites(false)
@@ -372,6 +374,8 @@ func (c *Cache) Read(addr line.Addr) (line.Line, bool) {
 // the operation will report when it replays. Replay order equals arrival
 // order, so a buffered cache is observationally byte-identical to an
 // unbuffered one.
+//
+//thesaurus:hotpath
 func (c *Cache) Write(addr line.Addr, data line.Line) bool {
 	addr = addr.LineAddr()
 	if c.wbuf == nil {
