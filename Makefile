@@ -77,12 +77,18 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDiffEncodeRoundtrip -fuzztime=5s ./internal/diffenc
 	$(GO) test -run='^$$' -fuzz=FuzzLSHFingerprintStable -fuzztime=5s ./internal/lsh
 	$(GO) test -run='^$$' -fuzz=FuzzRecordedCodecRoundtrip -fuzztime=5s ./internal/artifact
+	$(GO) test -run='^$$' -fuzz=FuzzRunOutputCodecRoundtrip -fuzztime=5s ./internal/artifact
 
 # The artifact cache is an accelerator, never an input: campaign reports
-# must be byte-identical whether the cache is off, cold, or warm, serial
-# or parallel (docs/performance.md). The per-experiment wall-clock lines
-# are the only legitimate difference in text mode and are filtered before
-# comparison; artifact stats go to stderr and never touch the reports.
+# must be byte-identical whether the cache is off, cold, or warm, with
+# the run-level layer on or off, serial, parallel, or distributed across
+# worker processes (docs/performance.md). The per-experiment wall-clock
+# lines are the only legitimate difference in text mode and are filtered
+# before comparison; artifact stats go to stderr and never touch the
+# reports. The cold-vs-warm timing at the end enforces the run-level
+# cache's reason to exist: a warm quick-campaign rerun must be >=5x
+# faster than the cold run (it is pure artifact decode, so the margin is
+# ordinarily far larger).
 cache-identity:
 	@set -e; tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
 	$(GO) build -o $$tmp/thesaurus ./cmd/thesaurus; \
@@ -92,17 +98,35 @@ cache-identity:
 	$$tmp/thesaurus -json -no-cache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
 		2>/dev/null >$$tmp/ref.json; \
 	echo "cache-identity: cold cache, workers=4"; \
+	t0=$$(date +%s%3N); \
 	$$tmp/thesaurus -cache-dir $$tmp/cache -workers 4 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
 		2>/dev/null | sed '/completed in/d' >$$tmp/cold.txt; \
+	t1=$$(date +%s%3N); \
 	echo "cache-identity: warm cache, serial + json workers=4"; \
 	$$tmp/thesaurus -cache-dir $$tmp/cache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
 		2>/dev/null | sed '/completed in/d' >$$tmp/warm.txt; \
+	t2=$$(date +%s%3N); \
 	$$tmp/thesaurus -json -cache-dir $$tmp/cache -workers 4 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
 		2>/dev/null >$$tmp/warm.json; \
+	echo "cache-identity: warm cache, run-level layer off"; \
+	$$tmp/thesaurus -cache-dir $$tmp/cache -no-run-cache -workers 4 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/norun.txt; \
+	echo "cache-identity: distributed (-distribute 2), fresh cache"; \
+	$$tmp/thesaurus -distribute 2 -cache-dir $$tmp/dcache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/dist.txt; \
+	$$tmp/thesaurus -json -distribute 2 -cache-dir $$tmp/dcache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null >$$tmp/dist.json; \
 	cmp $$tmp/ref.txt $$tmp/cold.txt; \
 	cmp $$tmp/ref.txt $$tmp/warm.txt; \
 	cmp $$tmp/ref.json $$tmp/warm.json; \
-	echo "cache-identity: OK (text and JSON byte-identical across cache-off/cold/warm)"
+	cmp $$tmp/ref.txt $$tmp/norun.txt; \
+	cmp $$tmp/ref.txt $$tmp/dist.txt; \
+	cmp $$tmp/ref.json $$tmp/dist.json; \
+	cold=$$((t1-t0)); warm=$$((t2-t1)); \
+	echo "cache-identity: cold $${cold}ms, warm $${warm}ms"; \
+	if [ $$((warm*5)) -gt $$cold ]; then \
+		echo "cache-identity: FAIL: warm quick-campaign rerun not >=5x faster than cold"; exit 1; fi; \
+	echo "cache-identity: OK (byte-identical across cache-off/cold/warm/run-cache-off/distributed; warm >=5x cold)"
 
 # Remove the default on-disk artifact cache (the -cache-dir default).
 clean-cache:

@@ -292,6 +292,37 @@ func measureBench() ([]benchEntry, error) {
 			}
 		}
 	})
+
+	// --- run-level cache codec ---
+	// A warm campaign's cost per design×profile cell is one RunOutput
+	// decode (docs/performance.md); these rows are that gap's trajectory.
+	// The snapshot is tiny next to a recording, so the codec itself — not
+	// payload size — dominates.
+	runOpt := harness.DefaultRunOptions()
+	runOpt.Accesses = 100_000
+	benchRun, err := harness.Run("mcf", "Thesaurus", runOpt)
+	if err != nil {
+		return nil, err
+	}
+	runFile := &artifact.File{Run: &artifact.RunOutput{
+		Res: benchRun.Res, Snap: benchRun.Snap, ClusterFracs: benchRun.ClusterFracs,
+	}}
+	benchRunArt := artifact.Encode(nil, runFile)
+	add("artifact_encode_runoutput", classArtifact, int64(len(benchRunArt)), func(b *testing.B) {
+		buf := make([]byte, 0, len(benchRunArt))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = artifact.Encode(buf[:0], runFile)
+		}
+	})
+	add("artifact_load_runoutput", classArtifact, int64(len(benchRunArt)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := artifact.Decode(benchRunArt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	return entries, nil
 }
 

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/spool"
+	"repro/internal/workload"
+)
+
+// runWorker drains the spool directory: claim a task, run its design ×
+// profile cell (which persists the RunOutput artifact into the shared
+// cache under the cross-process singleflight), mark it done, repeat
+// until the queue is empty. The artifact cache is the only result
+// channel — nothing about the run itself travels back through the spool.
+func runWorker(spoolDir string) error {
+	if _, ok := harness.ArtifactStats(); !ok {
+		return errors.New("-worker requires the artifact cache (-no-cache is incompatible)")
+	}
+	for {
+		t, ok, err := spool.Claim(spoolDir)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		opt := harness.RunOptions{
+			Accesses: t.Accesses,
+			Replay:   harness.DefaultRunOptions().Replay,
+			Workers:  1,
+		}
+		opt.Replay.WarmupFraction = t.WarmupFraction
+		opt.Replay.SampleEvery = t.SampleEvery
+		opt.Replay.Verify = t.Verify
+		_, runErr := harness.Run(t.Profile, t.Design, opt)
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "thesaurus worker: task %d (%s/%s): %v\n",
+				t.ID, t.Profile, t.Design, runErr)
+		}
+		if err := spool.Finish(spoolDir, t.ID, runErr); err != nil {
+			return err
+		}
+	}
+}
+
+// distribute shards the design × profile matrix of the coming campaign
+// across n worker processes, each warming the shared artifact cache, then
+// returns so the caller's normal (in-process) campaign runs against the
+// warm cache. The report is therefore assembled by exactly the same code
+// path as a serial run — byte-identity with serial execution holds by
+// construction, and a lost or failed worker costs only recomputation in
+// the final pass, never correctness.
+func distribute(n int, exeArgs workerArgs, opt experiments.Options) error {
+	if _, ok := harness.ArtifactStats(); !ok {
+		return errors.New("-distribute requires the artifact cache (-no-cache is incompatible)")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("distribute: resolve executable: %w", err)
+	}
+	spoolDir, err := os.MkdirTemp("", "thesaurus-spool-*")
+	if err != nil {
+		return fmt.Errorf("distribute: %w", err)
+	}
+	defer os.RemoveAll(spoolDir)
+
+	profiles := opt.Profiles
+	if len(profiles) == 0 {
+		profiles = workload.Names()
+	}
+	ro := harness.DefaultRunOptions()
+	var tasks []spool.Task
+	for _, p := range profiles {
+		for _, d := range harness.Designs {
+			tasks = append(tasks, spool.Task{
+				ID:             len(tasks),
+				Profile:        p,
+				Design:         d,
+				Accesses:       opt.Accesses,
+				WarmupFraction: ro.Replay.WarmupFraction,
+				SampleEvery:    ro.Replay.SampleEvery,
+				Verify:         ro.Replay.Verify,
+			})
+		}
+	}
+	if err := spool.Write(spoolDir, tasks); err != nil {
+		return err
+	}
+
+	args := []string{"-worker", "-spool", spoolDir, "-cache-dir", exeArgs.cacheDir}
+	if exeArgs.cacheMax > 0 {
+		args = append(args, "-cache-max-bytes", strconv.FormatInt(exeArgs.cacheMax, 10))
+	}
+	if exeArgs.noRunCache {
+		args = append(args, "-no-run-cache")
+	}
+	if exeArgs.verify {
+		args = append(args, "-cache-verify")
+	}
+	exited := make(chan error, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, args...)
+		// Workers write nothing the report needs: stdout would only ever
+		// carry accidental prints, so both streams go to our stderr.
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("distribute: start worker: %w", err)
+		}
+		go func() { exited <- cmd.Wait() }()
+	}
+
+	fmt.Fprintf(os.Stderr, "distribute: %d tasks across %d workers (spool %s)\n",
+		len(tasks), n, spoolDir)
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	for running := n; running > 0; {
+		select {
+		case err := <-exited:
+			running--
+			if err != nil {
+				// A dead worker is a warning, not a failure: its tasks stay
+				// unclaimed (or un-done) and the final in-process pass
+				// computes whatever the cache is missing.
+				fmt.Fprintf(os.Stderr, "distribute: worker exited with error: %v\n", err)
+			}
+		case <-tick.C:
+			if p, err := spool.Scan(spoolDir); err == nil {
+				fmt.Fprintf(os.Stderr, "distribute: %d/%d done, %d working, %d failed\r",
+					p.Done, len(tasks), p.Working, p.Failed)
+			}
+		}
+	}
+	p, err := spool.Scan(spoolDir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "distribute: %d/%d done, %d failed\n", p.Done, len(tasks), p.Failed)
+	if msgs, err := spool.Failures(spoolDir); err == nil {
+		for _, m := range msgs {
+			fmt.Fprintf(os.Stderr, "distribute: %s (will recompute in-process)\n", m)
+		}
+	}
+	return nil
+}
+
+// workerArgs is the slice of our own flag state a spawned worker must
+// inherit to address the same cache with the same semantics.
+type workerArgs struct {
+	cacheDir   string
+	cacheMax   int64
+	noRunCache bool
+	verify     bool
+}

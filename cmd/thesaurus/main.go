@@ -22,7 +22,12 @@
 //	-cache-dir d       on-disk artifact cache directory (default: user cache dir)
 //	-cache-max-bytes N artifact cache byte budget, LRU-evicted (0 = unlimited)
 //	-no-cache          disable the on-disk artifact cache
+//	-no-run-cache      disable the run-level artifact layer (recordings still cached)
 //	-cache-verify      debug: regenerate and deep-compare every artifact hit
+//	-distribute N      shard the design×profile matrix across N worker processes
+//	                   warming the shared cache before the in-process campaign
+//	-worker            worker mode: drain a spool directory (used by -distribute)
+//	-spool d           work-queue directory for -worker
 package main
 
 import (
@@ -40,28 +45,31 @@ import (
 	"repro/internal/workload"
 )
 
-// setupArtifacts installs the on-disk recording cache. The cache is an
-// accelerator only, so any setup failure just disables it with a note on
-// stderr — stdout (the report byte-identity surface) is never touched.
-func setupArtifacts(dir string, maxBytes int64, disabled, verify bool) {
+// setupArtifacts installs the on-disk artifact cache and returns the
+// effective directory ("" when disabled) so the coordinator can hand the
+// exact same cache to worker processes. The cache is an accelerator only,
+// so any setup failure just disables it with a note on stderr — stdout
+// (the report byte-identity surface) is never touched.
+func setupArtifacts(dir string, maxBytes int64, disabled, verify bool) string {
 	if disabled {
-		return
+		return ""
 	}
 	if dir == "" {
 		base, err := os.UserCacheDir()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
-			return
+			return ""
 		}
 		dir = base + "/thesaurus/artifacts"
 	}
 	c, err := artifact.Open(dir, maxBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
-		return
+		return ""
 	}
 	harness.UseArtifacts(c)
 	harness.SetArtifactVerify(verify)
+	return c.Dir()
 }
 
 // reportArtifactStats summarizes cache activity on stderr (stderr so the
@@ -92,7 +100,11 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "artifact cache directory (default: user cache dir)")
 	cacheMax := flag.Int64("cache-max-bytes", 0, "artifact cache byte budget, LRU-evicted (0 = unlimited)")
 	noCache := flag.Bool("no-cache", false, "disable the on-disk artifact cache")
+	noRunCache := flag.Bool("no-run-cache", false, "disable the run-level artifact layer (recordings still cached)")
 	cacheVerify := flag.Bool("cache-verify", false, "debug: regenerate and deep-compare every artifact hit")
+	distributeN := flag.Int("distribute", 0, "shard the design×profile matrix across N worker processes before the campaign")
+	worker := flag.Bool("worker", false, "worker mode: drain -spool, writing results into the shared cache")
+	spoolDir := flag.String("spool", "", "work-queue directory (required with -worker)")
 	flag.Parse()
 
 	if *benchjson != "" {
@@ -108,7 +120,19 @@ func main() {
 		return
 	}
 
-	setupArtifacts(*cacheDir, *cacheMax, *noCache, *cacheVerify)
+	effectiveCacheDir := setupArtifacts(*cacheDir, *cacheMax, *noCache, *cacheVerify)
+	harness.SetRunCache(!*noRunCache)
+
+	if *worker {
+		if *spoolDir == "" {
+			fail(fmt.Errorf("-worker requires -spool"))
+		}
+		if err := runWorker(*spoolDir); err != nil {
+			fail(err)
+		}
+		reportArtifactStats()
+		return
+	}
 	defer reportArtifactStats()
 
 	opt := experiments.Default()
@@ -136,6 +160,21 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		args = []string{"table1", "table2", "fig1", "fig2", "fig5", "fig13", "table3", "fig14",
 			"table4", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablate"}
+	}
+
+	if *distributeN > 0 {
+		// Pre-warm the shared cache across worker processes; the campaign
+		// below then assembles the report in-process from warm artifacts,
+		// so its bytes are identical to a serial run by construction.
+		err := distribute(*distributeN, workerArgs{
+			cacheDir:   effectiveCacheDir,
+			cacheMax:   *cacheMax,
+			noRunCache: *noRunCache,
+			verify:     *cacheVerify,
+		}, opt)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	if *cpuprofile != "" {

@@ -11,7 +11,8 @@
 //
 // Flags:
 //
-//	-json         emit machine-readable JSON diagnostics on stdout
+//	-json         emit machine-readable JSON on stdout (diagnostics, or
+//	              the per-function escape report with -escapes)
 //	-allow file   allowlist of audited exceptions (default: <module>/lint.allow if present)
 //	-analyzers csv run only the named analyzers
 //	-list         print the suite and exit
@@ -74,7 +75,7 @@ func main() {
 		if budgetPath == "" {
 			budgetPath = filepath.Join(moduleDir, "alloc.budget")
 		}
-		runEscapes(moduleDir, budgetPath, *writeBudget)
+		runEscapes(moduleDir, budgetPath, *writeBudget, *jsonOut)
 		return
 	}
 
@@ -246,8 +247,10 @@ func targetDirs(moduleDir, cwd string, args []string) ([]string, error) {
 
 // runEscapes is -escapes/-write-budget mode: scan for hot-path pragmas,
 // ask the compiler which sites escape, and diff (or regenerate) the
-// committed budget.
-func runEscapes(moduleDir, budgetPath string, write bool) {
+// committed budget. With jsonOut, the per-function report goes to stdout
+// as JSON (lint.EscapeRow) and the human-readable failures stay on
+// stderr; the exit status is the same either way.
+func runEscapes(moduleDir, budgetPath string, write, jsonOut bool) {
 	funcs, err := lint.ScanHotFuncs(moduleDir)
 	if err != nil {
 		fatal(err)
@@ -272,6 +275,17 @@ func runEscapes(moduleDir, budgetPath string, write bool) {
 	budget, err := lint.ParseBudget(budgetPath)
 	if err != nil {
 		fatal(fmt.Errorf("%v (run `thesauruslint -escapes -write-budget` to create)", err))
+	}
+	if jsonOut {
+		rows := lint.BuildEscapeReport(funcs, attributed, budget)
+		if rows == nil {
+			rows = []lint.EscapeRow{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fatal(err)
+		}
 	}
 	failures := lint.DiffBudget(budget, attributed)
 	for _, f := range failures {

@@ -88,24 +88,38 @@ func (c *Cache) lock(key string) string { return filepath.Join(c.dir, key+".lock
 // entries are removed so the next store overwrites them cleanly). A hit
 // freshens the entry's mtime, which is the LRU recency signal.
 func (c *Cache) LoadRecorded(key string) (*sim.Recorded, bool) {
-	rec, ok := c.load(key)
+	rec, ok := c.loadRecorded(key)
 	if !ok {
 		c.misses.Add(1)
 	}
 	return rec, ok
 }
 
-// load is LoadRecorded without the miss accounting: LoadOrRecord probes
-// the same key several times per logical lookup (before the lock, under
-// the lock, while polling another writer) and must count one hit or one
-// miss total, not one per probe.
-func (c *Cache) load(key string) (*sim.Recorded, bool) {
+// LoadRunOutput returns the run snapshot stored under key, with the same
+// miss semantics as LoadRecorded. A run section written under another
+// RunOutputVersion is version skew: a silent miss, never corruption.
+func (c *Cache) LoadRunOutput(key string) (*RunOutput, bool) {
+	r, ok := c.loadRun(key)
+	if !ok {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// load is the typed loaders without the miss accounting: the
+// loadOrCompute singleflight probes the same key several times per
+// logical lookup (before the lock, under the lock, while polling another
+// writer) and must count one hit or one miss total, not one per probe.
+// has reports whether the decoded file carries the section the caller
+// wants — a key never legitimately maps to a different section set, so
+// a mismatch is treated exactly like corruption.
+func (c *Cache) load(key string, has func(*File) bool) (*File, bool) {
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return nil, false
 	}
 	f, err := Decode(data)
-	if err != nil || f.Recorded == nil {
+	if err != nil || !has(f) {
 		// Version skew is an honest miss; anything else is corruption.
 		// Either way the entry is useless under this key: drop it so
 		// regeneration overwrites rather than re-tripping forever.
@@ -119,7 +133,23 @@ func (c *Cache) load(key string) (*sim.Recorded, bool) {
 	os.Chtimes(c.path(key), now, now)
 	c.hits.Add(1)
 	c.bytesLoaded.Add(uint64(len(data)))
+	return f, true
+}
+
+func (c *Cache) loadRecorded(key string) (*sim.Recorded, bool) {
+	f, ok := c.load(key, func(f *File) bool { return f.Recorded != nil })
+	if !ok {
+		return nil, false
+	}
 	return f.Recorded, true
+}
+
+func (c *Cache) loadRun(key string) (*RunOutput, bool) {
+	f, ok := c.load(key, func(f *File) bool { return f.Run != nil })
+	if !ok {
+		return nil, false
+	}
+	return f.Run, true
 }
 
 // StoreRecorded persists rec under key: encode, write to a temp file in
@@ -129,6 +159,12 @@ func (c *Cache) load(key string) (*sim.Recorded, bool) {
 // the caller already has the recording.
 func (c *Cache) StoreRecorded(key string, rec *sim.Recorded) {
 	c.store(key, &File{Recorded: rec})
+}
+
+// StoreRunOutput persists a whole run snapshot under key with the same
+// crash-safety and failure policy as StoreRecorded.
+func (c *Cache) StoreRunOutput(key string, r *RunOutput) {
+	c.store(key, &File{Run: r})
 }
 
 // StoreFile persists an arbitrary artifact (cmd/tracegen writes
@@ -175,24 +211,52 @@ func writeAtomic(dir, path string, data []byte) error {
 // lock only when it looks abandoned. hit reports whether the recording
 // came from disk.
 func (c *Cache) LoadOrRecord(key string, record func() *sim.Recorded) (rec *sim.Recorded, hit bool) {
-	if rec, ok := c.load(key); ok {
-		return rec, true
+	rec, hit, _ = loadOrCompute(c, key, (*Cache).loadRecorded,
+		func() (*sim.Recorded, error) { return record(), nil },
+		(*Cache).StoreRecorded)
+	return rec, hit
+}
+
+// LoadOrRunOutput returns the run snapshot under key, computing and
+// persisting it on a miss under the same cross-process singleflight as
+// LoadOrRecord. Unlike recording, a run can fail (the compute closure
+// surfaces replay errors); on error nothing is stored and the lock is
+// released so another process can try.
+func (c *Cache) LoadOrRunOutput(key string, compute func() (*RunOutput, error)) (*RunOutput, bool, error) {
+	return loadOrCompute(c, key, (*Cache).loadRun, compute, (*Cache).StoreRunOutput)
+}
+
+// loadOrCompute is the cross-process singleflight shared by LoadOrRecord
+// and LoadOrRunOutput: probe, then race for the key's lock file; the
+// winner re-probes (another process may have stored meanwhile), computes,
+// and persists; losers poll for the winner's artifact, breaking the lock
+// only when it looks abandoned (crashed writer) and falling back to
+// compute-without-persist when the holder outlives lockWait. Exactly one
+// hit or miss is counted per call.
+func loadOrCompute[T any](c *Cache, key string,
+	load func(*Cache, string) (T, bool),
+	compute func() (T, error),
+	persist func(*Cache, string, T)) (v T, hit bool, err error) {
+	if v, ok := load(c, key); ok {
+		return v, true, nil
 	}
 	deadline := time.Now().Add(c.lockWait)
 	for {
-		lf, err := os.OpenFile(c.lock(key), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
+		lf, lerr := os.OpenFile(c.lock(key), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if lerr == nil {
 			lf.Close()
 			defer os.Remove(c.lock(key))
 			// Another process may have finished while we raced for the
 			// lock; its artifact is fresher than anything we'd recompute.
-			if rec, ok := c.load(key); ok {
-				return rec, true
+			if v, ok := load(c, key); ok {
+				return v, true, nil
 			}
 			c.misses.Add(1)
-			rec = record()
-			c.StoreRecorded(key, rec)
-			return rec, false
+			if v, err = compute(); err != nil {
+				return v, false, err
+			}
+			persist(c, key, v)
+			return v, false, nil
 		}
 		// Lock held: wait for the holder's artifact instead of
 		// duplicating its work.
@@ -201,15 +265,16 @@ func (c *Cache) LoadOrRecord(key string, record func() *sim.Recorded) (rec *sim.
 			continue
 		}
 		if time.Now().After(deadline) {
-			// The holder is stuck or much slower than us. Recording
+			// The holder is stuck or much slower than us. Computing
 			// without persisting keeps this process correct and leaves
 			// the store to whoever holds the lock.
 			c.misses.Add(1)
-			return record(), false
+			v, err = compute()
+			return v, false, err
 		}
 		time.Sleep(25 * time.Millisecond)
-		if rec, ok := c.load(key); ok {
-			return rec, true
+		if v, ok := load(c, key); ok {
+			return v, true, nil
 		}
 	}
 }

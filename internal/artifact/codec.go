@@ -45,6 +45,7 @@ const (
 
 	sectionRecorded = 1 << 0
 	sectionImage    = 1 << 1
+	sectionRun      = 1 << 2
 
 	// maxEvents / maxPool bound decode-time allocations to what a
 	// plausible artifact can hold, so a corrupt length prefix cannot
@@ -71,6 +72,11 @@ type File struct {
 	// only when the writer included it, e.g. cmd/tracegen artifacts).
 	// Its pages are backed by the decode slab: see memory.Store.Release.
 	Image *memory.Store
+	// Run is a whole memoized replay result (ISSUE 8). The section
+	// carries its own sub-version (RunOutputVersion) on top of the
+	// container version, because its encoding mirrors snapshot struct
+	// layouts that evolve independently of the recording format.
+	Run *RunOutput
 }
 
 // Encode appends the artifact encoding of f onto dst.
@@ -82,6 +88,9 @@ func Encode(dst []byte, f *File) []byte {
 	if f.Image != nil {
 		sections |= sectionImage
 	}
+	if f.Run != nil {
+		sections |= sectionRun
+	}
 	start := len(dst)
 	dst = binary.LittleEndian.AppendUint32(dst, headerMagic)
 	dst = binary.LittleEndian.AppendUint32(dst, Version)
@@ -92,6 +101,9 @@ func Encode(dst []byte, f *File) []byte {
 	}
 	if f.Image != nil {
 		dst = f.Image.AppendPages(dst)
+	}
+	if f.Run != nil {
+		dst = appendRunOutput(dst, f.Run)
 	}
 	payloadLen := uint64(len(dst) - start - headerLen)
 	dst = binary.LittleEndian.AppendUint64(dst, payloadLen)
@@ -129,7 +141,7 @@ func Decode(data []byte) (*File, error) {
 		return nil, fmt.Errorf("%w: file version %d, codec version %d", ErrVersionSkew, v, Version)
 	}
 	sections := binary.LittleEndian.Uint32(data[8:])
-	if sections&^uint32(sectionRecorded|sectionImage) != 0 {
+	if sections&^uint32(sectionRecorded|sectionImage|sectionRun) != 0 {
 		return nil, fmt.Errorf("%w: unknown section bits %#x", ErrCorrupt, sections)
 	}
 	payload := data[headerLen : len(data)-footerLen]
@@ -146,6 +158,11 @@ func Decode(data []byte) (*File, error) {
 			return nil, fmt.Errorf("%w: image: %v", ErrCorrupt, err)
 		}
 		f.Image = s
+	}
+	if sections&sectionRun != 0 {
+		if f.Run, payload, err = decodeRunOutput(payload); err != nil {
+			return nil, err
+		}
 	}
 	if len(payload) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload))

@@ -1,0 +1,628 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bdi"
+	"repro/internal/bdicache"
+	"repro/internal/dedupcache"
+	"repro/internal/diffenc"
+	"repro/internal/line"
+	"repro/internal/llc"
+	"repro/internal/lsh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/thesaurus"
+	"repro/internal/uncomp"
+	"repro/internal/workload"
+)
+
+// RunOutputVersion versions the run-output section independently of the
+// container codec (Version): the section serializes the design snapshot
+// structs field by field, so it must be bumped whenever sim.Result,
+// llc.StatsSnapshot, or any design's release-snapshot type gains, loses,
+// or reinterprets a field — and whenever replay semantics change in a way
+// the recording codec version does not already capture. The version is
+// both hashed into every run key and embedded in the section, so a bump
+// turns every cached run into a clean miss (never an error).
+const RunOutputVersion = 1
+
+// RunOutput is a whole memoized run: the replay metrics, the released
+// cache's statistics snapshot, and the Fig. 16 cluster-size fractions.
+// It mirrors harness.RunOutput field for field (the harness converts at
+// the cache boundary; artifact cannot import harness).
+type RunOutput struct {
+	Res          sim.Result
+	Snap         llc.StatsSnapshot
+	ClusterFracs [4]float64
+}
+
+// Extra-snapshot union tags. The decoder rejects unknown tags as corrupt:
+// a new design requires a RunOutputVersion bump, which already turns old
+// files into misses before tag dispatch is reached.
+const (
+	extraNil       = 0
+	extraUncomp    = 1
+	extraBDI       = 2
+	extraDedup     = 3
+	extraThesaurus = 4
+)
+
+// RunOutputKey derives the content address of a whole run: the SHA-256 of
+// every input the replay's result depends on — both codec versions (the
+// recording feeds the run, so recording-semantics bumps must also miss),
+// the full profile descriptor, the complete SystemConfig (geometry AND
+// timing: unlike a recording, a run's IPC/cycle metrics depend on the
+// latency model), the design name, the trace length, every scalar
+// ReplayOptions field, whether the run sampled the Fig. 16 cluster-size
+// distribution, and — for Thesaurus runs — the effective (normalized)
+// Thesaurus configuration. Workers is deliberately excluded: results are
+// deterministic for any worker count (see harness.runKey).
+func RunOutputKey(p workload.Profile, sys sim.SystemConfig, design string, accesses int,
+	replay sim.ReplayOptions, sample bool, thCfg *thesaurus.Config) string {
+	buf := make([]byte, 0, 512)
+	buf = append(buf, fmt.Sprintf("thesaurus-runoutput-v%d-r%d\x00", RunOutputVersion, Version)...)
+	buf = p.AppendKey(buf)
+	buf = keyU64(buf,
+		uint64(sys.L1DSizeBytes), uint64(sys.L1DWays),
+		uint64(sys.L2SizeBytes), uint64(sys.L2Ways),
+		math.Float64bits(sys.Timing.FrequencyGHz),
+		math.Float64bits(sys.Timing.CoreIPC),
+		math.Float64bits(sys.Timing.L2HitCycles),
+		math.Float64bits(sys.Timing.LLCHitCycles),
+		math.Float64bits(sys.Timing.MemCycles),
+		math.Float64bits(sys.Timing.OverlapFactor))
+	if sys.DRAM != nil {
+		buf = append(buf, 'D')
+		buf = keyU64(buf, uint64(sys.DRAM.Banks), uint64(sys.DRAM.RowBytes),
+			math.Float64bits(sys.DRAM.TRCD), math.Float64bits(sys.DRAM.TRP),
+			math.Float64bits(sys.DRAM.TCAS), math.Float64bits(sys.DRAM.TBurst),
+			math.Float64bits(sys.DRAM.Overhead))
+	}
+	buf = keyString(buf, design)
+	buf = keyU64(buf, uint64(accesses),
+		math.Float64bits(replay.WarmupFraction),
+		uint64(replay.SampleEvery), boolU64(replay.Verify), boolU64(sample))
+	if thCfg != nil {
+		buf = append(buf, 'T')
+		buf = keyU64(buf,
+			uint64(thCfg.TagEntries), uint64(thCfg.TagWays),
+			uint64(thCfg.DataSets), uint64(thCfg.SegmentsPerSet),
+			uint64(thCfg.LSH.Bits), uint64(thCfg.LSH.NonZeros), thCfg.LSH.Seed,
+			uint64(thCfg.BaseCacheSets), uint64(thCfg.BaseCacheWays),
+			uint64(thCfg.VictimCandidates), thCfg.Seed,
+			uint64(thCfg.DiffSeriesWindow),
+			boolU64(thCfg.BaseCachePlainLRU), boolU64(thCfg.IntraLineFallback),
+			uint64(thCfg.AdaptiveEpoch), uint64(thCfg.WriteBufferDepth))
+	}
+	return hashKey(buf)
+}
+
+func boolU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// appendRunOutput encodes one run-output section: the section sub-version
+// first (so run-format changes miss without a container bump), then the
+// result, the snapshot with its tagged design-specific extra, and the
+// cluster fractions. Counters are uvarints, floats are fixed 8-byte IEEE
+// bit patterns (exact, canonical), and bools/tags are single bytes the
+// decoder validates strictly — the encoding of every value is unique, so
+// decode∘encode is the identity on accepted sections (the fuzz contract).
+func appendRunOutput(dst []byte, r *RunOutput) []byte {
+	dst = binary.AppendUvarint(dst, RunOutputVersion)
+	dst = appendResult(dst, &r.Res)
+	dst = appendStatsSnapshot(dst, &r.Snap)
+	for _, f := range r.ClusterFracs {
+		dst = appendF64(dst, f)
+	}
+	return dst
+}
+
+func appendF64(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendLLCStats(dst []byte, s *llc.Stats) []byte {
+	dst = binary.AppendUvarint(dst, s.Reads)
+	dst = binary.AppendUvarint(dst, s.Writes)
+	dst = binary.AppendUvarint(dst, s.ReadHits)
+	dst = binary.AppendUvarint(dst, s.WriteHits)
+	dst = binary.AppendUvarint(dst, s.Fills)
+	return binary.AppendUvarint(dst, s.Writebacks)
+}
+
+func appendResult(dst []byte, r *sim.Result) []byte {
+	dst = appendString(dst, r.Design)
+	dst = binary.AppendUvarint(dst, r.Instructions)
+	dst = appendLLCStats(dst, &r.LLCStats)
+	dst = binary.AppendUvarint(dst, uint64(len(r.DRAM.Counts)))
+	for _, c := range r.DRAM.Counts {
+		dst = binary.AppendUvarint(dst, c)
+	}
+	dst = appendF64(dst, r.MPKI)
+	dst = appendF64(dst, r.IPC)
+	dst = appendF64(dst, r.Cycles)
+	dst = appendF64(dst, r.CompressionRatio)
+	dst = appendF64(dst, r.Occupancy)
+	dst = appendF64(dst, r.AvgResidentLines)
+	return binary.AppendUvarint(dst, uint64(r.Samples))
+}
+
+func appendStatsSnapshot(dst []byte, s *llc.StatsSnapshot) []byte {
+	dst = appendString(dst, s.Design)
+	dst = appendLLCStats(dst, &s.Stats)
+	switch x := s.Extra.(type) {
+	case nil:
+		dst = append(dst, extraNil)
+	case *uncomp.Snapshot:
+		dst = append(dst, extraUncomp)
+		dst = appendBool(dst, x.Lines != nil)
+		dst = binary.AppendUvarint(dst, uint64(len(x.Lines)))
+		for i := range x.Lines {
+			dst = append(dst, x.Lines[i][:]...)
+		}
+	case *bdicache.Snapshot:
+		dst = append(dst, extraBDI)
+		dst = binary.AppendUvarint(dst, x.Extra.Insertions)
+		dst = binary.AppendUvarint(dst, x.Extra.Compressed)
+		dst = binary.AppendUvarint(dst, x.Extra.SpaceEvictions)
+		dst = appendBool(dst, x.Extra.ByKind != nil)
+		kinds := make([]int, 0, len(x.Extra.ByKind))
+		for k := range x.Extra.ByKind {
+			kinds = append(kinds, int(k))
+		}
+		sort.Ints(kinds)
+		dst = binary.AppendUvarint(dst, uint64(len(kinds)))
+		for _, k := range kinds {
+			dst = binary.AppendUvarint(dst, uint64(k))
+			dst = binary.AppendUvarint(dst, x.Extra.ByKind[bdi.Kind(k)])
+		}
+	case *dedupcache.Snapshot:
+		dst = append(dst, extraDedup)
+		dst = binary.AppendUvarint(dst, x.Extra.Insertions)
+		dst = binary.AppendUvarint(dst, x.Extra.Deduped)
+		dst = binary.AppendUvarint(dst, x.Extra.FalseMatches)
+		dst = binary.AppendUvarint(dst, x.Extra.ListEvictions)
+	case *thesaurus.Snapshot:
+		dst = append(dst, extraThesaurus)
+		dst = appendThesaurusSnapshot(dst, x)
+	default:
+		// A design snapshot the codec does not know cannot be persisted
+		// faithfully; encoding it would decode to silently wrong results.
+		panic(fmt.Sprintf("artifact: unencodable extra snapshot %T (extend the run-output codec and bump RunOutputVersion)", x))
+	}
+	return dst
+}
+
+func appendThesaurusSnapshot(dst []byte, s *thesaurus.Snapshot) []byte {
+	c := &s.Cfg
+	dst = binary.AppendUvarint(dst, uint64(c.TagEntries))
+	dst = binary.AppendUvarint(dst, uint64(c.TagWays))
+	dst = binary.AppendUvarint(dst, uint64(c.DataSets))
+	dst = binary.AppendUvarint(dst, uint64(c.SegmentsPerSet))
+	dst = binary.AppendUvarint(dst, uint64(c.LSH.Bits))
+	dst = binary.AppendUvarint(dst, uint64(c.LSH.NonZeros))
+	dst = binary.AppendUvarint(dst, c.LSH.Seed)
+	dst = binary.AppendUvarint(dst, uint64(c.BaseCacheSets))
+	dst = binary.AppendUvarint(dst, uint64(c.BaseCacheWays))
+	dst = binary.AppendUvarint(dst, uint64(c.VictimCandidates))
+	dst = binary.AppendUvarint(dst, c.Seed)
+	dst = binary.AppendUvarint(dst, uint64(c.DiffSeriesWindow))
+	dst = appendBool(dst, c.BaseCachePlainLRU)
+	dst = appendBool(dst, c.IntraLineFallback)
+	dst = binary.AppendUvarint(dst, uint64(c.AdaptiveEpoch))
+	dst = binary.AppendUvarint(dst, uint64(c.WriteBufferDepth))
+
+	e := &s.Extra
+	dst = binary.AppendUvarint(dst, e.Insertions)
+	dst = binary.AppendUvarint(dst, e.Reencodes)
+	dst = binary.AppendUvarint(dst, e.Placements)
+	dst = binary.AppendUvarint(dst, uint64(len(e.ByFormat)))
+	for _, v := range e.ByFormat {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, e.Compressible)
+	dst = binary.AppendUvarint(dst, e.RawDueToBaseMiss)
+	dst = binary.AppendUvarint(dst, e.DiffBytesSum)
+	dst = binary.AppendUvarint(dst, e.DiffCount)
+	dst = binary.AppendUvarint(dst, e.DataEvictions)
+
+	dst = binary.AppendUvarint(dst, s.Adaptive.Epochs)
+	dst = binary.AppendUvarint(dst, s.Adaptive.DisabledEpochs)
+	dst = binary.AppendUvarint(dst, s.Adaptive.DisabledPlacements)
+
+	dst = appendBool(dst, s.DiffSeries != nil)
+	dst = binary.AppendUvarint(dst, uint64(len(s.DiffSeries)))
+	for _, f := range s.DiffSeries {
+		dst = appendF64(dst, f)
+	}
+
+	dst = binary.AppendUvarint(dst, s.BaseCache.ReadPath.Hits)
+	dst = binary.AppendUvarint(dst, s.BaseCache.ReadPath.Total)
+	dst = binary.AppendUvarint(dst, s.BaseCache.InsertPath.Hits)
+	dst = binary.AppendUvarint(dst, s.BaseCache.InsertPath.Total)
+	dst = binary.AppendUvarint(dst, uint64(s.BaseCache.Entries))
+	dst = binary.AppendUvarint(dst, uint64(s.BaseCache.StorageBytes))
+	dst = binary.AppendUvarint(dst, uint64(s.LiveClusters))
+	return binary.AppendUvarint(dst, uint64(s.ValidClusters))
+}
+
+// runDecoder threads the payload slice through the field readers so every
+// site gets bounds-checked without repeating the error plumbing. err
+// sticks: after the first failure every later read returns zero values.
+type runDecoder struct {
+	data []byte
+	err  error
+}
+
+func (d *runDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: run-output "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *runDecoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data)
+	if n <= 0 {
+		d.fail("%s", what)
+		return 0
+	}
+	d.data = d.data[n:]
+	return v
+}
+
+// count reads a uvarint that sizes a following allocation, bounding it.
+func (d *runDecoder) count(what string, max uint64) int {
+	v := d.uvarint(what)
+	if d.err == nil && v > max {
+		d.fail("%s %d exceeds bound %d", what, v, max)
+	}
+	if d.err != nil {
+		return 0
+	}
+	return int(v)
+}
+
+func (d *runDecoder) f64(what string) float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.data) < 8 {
+		d.fail("%s", what)
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
+	d.data = d.data[8:]
+	return v
+}
+
+func (d *runDecoder) boolByte(what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.data) < 1 || d.data[0] > 1 {
+		d.fail("%s", what)
+		return false
+	}
+	b := d.data[0] == 1
+	d.data = d.data[1:]
+	return b
+}
+
+func (d *runDecoder) str(what string) string {
+	n := d.count(what+" length", 1<<20)
+	if d.err != nil {
+		return ""
+	}
+	if len(d.data) < n {
+		d.fail("truncated %s", what)
+		return ""
+	}
+	s := string(d.data[:n])
+	d.data = d.data[n:]
+	return s
+}
+
+func (d *runDecoder) llcStats(s *llc.Stats) {
+	s.Reads = d.uvarint("stats reads")
+	s.Writes = d.uvarint("stats writes")
+	s.ReadHits = d.uvarint("stats read hits")
+	s.WriteHits = d.uvarint("stats write hits")
+	s.Fills = d.uvarint("stats fills")
+	s.Writebacks = d.uvarint("stats writebacks")
+}
+
+// decodeRunOutput parses one run-output section, returning the remaining
+// payload. A section written under another RunOutputVersion is
+// ErrVersionSkew (a miss); everything else is ErrCorrupt.
+func decodeRunOutput(data []byte) (*RunOutput, []byte, error) {
+	d := &runDecoder{data: data}
+	v := d.uvarint("section version")
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if v != RunOutputVersion {
+		return nil, nil, fmt.Errorf("%w: run-output section version %d, codec version %d",
+			ErrVersionSkew, v, RunOutputVersion)
+	}
+	r := &RunOutput{}
+	decodeResult(d, &r.Res)
+	decodeStatsSnapshot(d, &r.Snap)
+	for i := range r.ClusterFracs {
+		r.ClusterFracs[i] = d.f64("cluster fraction")
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return r, d.data, nil
+}
+
+func decodeResult(d *runDecoder, r *sim.Result) {
+	r.Design = d.str("result design")
+	r.Instructions = d.uvarint("result instructions")
+	d.llcStats(&r.LLCStats)
+	if n := d.count("dram counter count", uint64(len(r.DRAM.Counts))); d.err == nil && n != len(r.DRAM.Counts) {
+		d.fail("dram counter count %d, codec has %d", n, len(r.DRAM.Counts))
+	}
+	for i := range r.DRAM.Counts {
+		r.DRAM.Counts[i] = d.uvarint("dram counter")
+	}
+	r.MPKI = d.f64("mpki")
+	r.IPC = d.f64("ipc")
+	r.Cycles = d.f64("cycles")
+	r.CompressionRatio = d.f64("compression ratio")
+	r.Occupancy = d.f64("occupancy")
+	r.AvgResidentLines = d.f64("avg resident lines")
+	r.Samples = int(d.uvarint("samples"))
+}
+
+func decodeStatsSnapshot(d *runDecoder, s *llc.StatsSnapshot) {
+	s.Design = d.str("snapshot design")
+	d.llcStats(&s.Stats)
+	if d.err != nil {
+		return
+	}
+	if len(d.data) < 1 {
+		d.fail("extra tag")
+		return
+	}
+	tag := d.data[0]
+	d.data = d.data[1:]
+	switch tag {
+	case extraNil:
+	case extraUncomp:
+		x := &uncomp.Snapshot{}
+		present := d.boolByte("uncomp lines presence")
+		n := d.count("uncomp line count", maxPool)
+		if d.err == nil && !present && n != 0 {
+			d.fail("absent uncomp lines with count %d", n)
+		}
+		if d.err == nil && uint64(len(d.data)) < uint64(n)*line.Size {
+			d.fail("truncated uncomp lines")
+		}
+		if d.err == nil && present {
+			x.Lines = make([]line.Line, n)
+			for i := range x.Lines {
+				copy(x.Lines[i][:], d.data[uint64(i)*line.Size:])
+			}
+			d.data = d.data[uint64(n)*line.Size:]
+		}
+		s.Extra = x
+	case extraBDI:
+		x := &bdicache.Snapshot{}
+		x.Extra.Insertions = d.uvarint("bdi insertions")
+		x.Extra.Compressed = d.uvarint("bdi compressed")
+		x.Extra.SpaceEvictions = d.uvarint("bdi space evictions")
+		present := d.boolByte("bdi bykind presence")
+		n := d.count("bdi kind count", 256)
+		if d.err == nil && !present && n != 0 {
+			d.fail("absent bdi histogram with %d kinds", n)
+		}
+		if present && d.err == nil {
+			x.Extra.ByKind = make(map[bdi.Kind]uint64, n)
+			prev := -1
+			for i := 0; i < n; i++ {
+				k := int(d.uvarint("bdi kind"))
+				c := d.uvarint("bdi kind count")
+				if d.err != nil {
+					return
+				}
+				// Strictly ascending kinds keep the encoding canonical
+				// (decode∘encode identity) and the map keys unique; the
+				// range bound is the Kind representation (uint8), not the
+				// current enum, so new kinds don't invalidate old files.
+				if k <= prev || k > 0xff {
+					d.fail("bdi kind %d out of order or range", k)
+					return
+				}
+				prev = k
+				x.Extra.ByKind[bdi.Kind(k)] = c
+			}
+		}
+		s.Extra = x
+	case extraDedup:
+		x := &dedupcache.Snapshot{}
+		x.Extra.Insertions = d.uvarint("dedup insertions")
+		x.Extra.Deduped = d.uvarint("dedup deduped")
+		x.Extra.FalseMatches = d.uvarint("dedup false matches")
+		x.Extra.ListEvictions = d.uvarint("dedup list evictions")
+		s.Extra = x
+	case extraThesaurus:
+		s.Extra = decodeThesaurusSnapshot(d)
+	default:
+		d.fail("unknown extra tag %d", tag)
+	}
+}
+
+func decodeThesaurusSnapshot(d *runDecoder) *thesaurus.Snapshot {
+	s := &thesaurus.Snapshot{}
+	c := &s.Cfg
+	c.TagEntries = int(d.uvarint("cfg tag entries"))
+	c.TagWays = int(d.uvarint("cfg tag ways"))
+	c.DataSets = int(d.uvarint("cfg data sets"))
+	c.SegmentsPerSet = int(d.uvarint("cfg segments per set"))
+	c.LSH = lsh.Config{
+		Bits:     int(d.uvarint("cfg lsh bits")),
+		NonZeros: int(d.uvarint("cfg lsh nonzeros")),
+		Seed:     d.uvarint("cfg lsh seed"),
+	}
+	c.BaseCacheSets = int(d.uvarint("cfg base sets"))
+	c.BaseCacheWays = int(d.uvarint("cfg base ways"))
+	c.VictimCandidates = int(d.uvarint("cfg victim candidates"))
+	c.Seed = d.uvarint("cfg seed")
+	c.DiffSeriesWindow = int(d.uvarint("cfg diff window"))
+	c.BaseCachePlainLRU = d.boolByte("cfg plain lru")
+	c.IntraLineFallback = d.boolByte("cfg intra fallback")
+	c.AdaptiveEpoch = int(d.uvarint("cfg adaptive epoch"))
+	c.WriteBufferDepth = int(d.uvarint("cfg write buffer depth"))
+
+	e := &s.Extra
+	e.Insertions = d.uvarint("extra insertions")
+	e.Reencodes = d.uvarint("extra reencodes")
+	e.Placements = d.uvarint("extra placements")
+	if n := d.count("format count", uint64(len(e.ByFormat))); d.err == nil && n != len(e.ByFormat) {
+		d.fail("format count %d, codec has %d", n, diffenc.NumFormats)
+	}
+	for i := range e.ByFormat {
+		e.ByFormat[i] = d.uvarint("format counter")
+	}
+	e.Compressible = d.uvarint("extra compressible")
+	e.RawDueToBaseMiss = d.uvarint("extra raw due to base miss")
+	e.DiffBytesSum = d.uvarint("extra diff bytes sum")
+	e.DiffCount = d.uvarint("extra diff count")
+	e.DataEvictions = d.uvarint("extra data evictions")
+
+	s.Adaptive.Epochs = d.uvarint("adaptive epochs")
+	s.Adaptive.DisabledEpochs = d.uvarint("adaptive disabled epochs")
+	s.Adaptive.DisabledPlacements = d.uvarint("adaptive disabled placements")
+
+	present := d.boolByte("diff series presence")
+	n := d.count("diff series length", maxEvents)
+	if d.err == nil && !present && n != 0 {
+		d.fail("absent diff series with length %d", n)
+	}
+	if d.err == nil && uint64(len(d.data)) < uint64(n)*8 {
+		d.fail("truncated diff series")
+	}
+	if present && d.err == nil {
+		s.DiffSeries = make([]float64, n)
+		for i := range s.DiffSeries {
+			s.DiffSeries[i] = d.f64("diff series sample")
+		}
+	}
+
+	s.BaseCache = thesaurus.BaseCacheSnapshot{
+		ReadPath:     stats.Counter{Hits: d.uvarint("base read hits"), Total: d.uvarint("base read total")},
+		InsertPath:   stats.Counter{Hits: d.uvarint("base insert hits"), Total: d.uvarint("base insert total")},
+		Entries:      int(d.uvarint("base entries")),
+		StorageBytes: int(d.uvarint("base storage bytes")),
+	}
+	s.LiveClusters = int(d.uvarint("live clusters"))
+	s.ValidClusters = int(d.uvarint("valid clusters"))
+	return s
+}
+
+// RunOutputEqual deep-compares two run outputs (the -cache-verify path
+// and the property tests). Floats compare by bit pattern: the codec
+// stores exact bits, so any drift is a real divergence.
+func RunOutputEqual(a, b *RunOutput) bool {
+	if !resultEqual(&a.Res, &b.Res) {
+		return false
+	}
+	for i := range a.ClusterFracs {
+		if math.Float64bits(a.ClusterFracs[i]) != math.Float64bits(b.ClusterFracs[i]) {
+			return false
+		}
+	}
+	return snapshotEqual(&a.Snap, &b.Snap)
+}
+
+func resultEqual(a, b *sim.Result) bool {
+	return a.Design == b.Design && a.Instructions == b.Instructions &&
+		a.LLCStats == b.LLCStats && a.DRAM == b.DRAM &&
+		math.Float64bits(a.MPKI) == math.Float64bits(b.MPKI) &&
+		math.Float64bits(a.IPC) == math.Float64bits(b.IPC) &&
+		math.Float64bits(a.Cycles) == math.Float64bits(b.Cycles) &&
+		math.Float64bits(a.CompressionRatio) == math.Float64bits(b.CompressionRatio) &&
+		math.Float64bits(a.Occupancy) == math.Float64bits(b.Occupancy) &&
+		math.Float64bits(a.AvgResidentLines) == math.Float64bits(b.AvgResidentLines) &&
+		a.Samples == b.Samples
+}
+
+func snapshotEqual(a, b *llc.StatsSnapshot) bool {
+	if a.Design != b.Design || a.Stats != b.Stats {
+		return false
+	}
+	switch x := a.Extra.(type) {
+	case nil:
+		return b.Extra == nil
+	case *uncomp.Snapshot:
+		y, ok := b.Extra.(*uncomp.Snapshot)
+		if !ok || (x.Lines == nil) != (y.Lines == nil) || len(x.Lines) != len(y.Lines) {
+			return false
+		}
+		for i := range x.Lines {
+			if x.Lines[i] != y.Lines[i] {
+				return false
+			}
+		}
+		return true
+	case *bdicache.Snapshot:
+		y, ok := b.Extra.(*bdicache.Snapshot)
+		if !ok || x.Extra.Insertions != y.Extra.Insertions ||
+			x.Extra.Compressed != y.Extra.Compressed ||
+			x.Extra.SpaceEvictions != y.Extra.SpaceEvictions ||
+			(x.Extra.ByKind == nil) != (y.Extra.ByKind == nil) ||
+			len(x.Extra.ByKind) != len(y.Extra.ByKind) {
+			return false
+		}
+		for k, v := range x.Extra.ByKind {
+			if y.Extra.ByKind[k] != v {
+				return false
+			}
+		}
+		return true
+	case *dedupcache.Snapshot:
+		y, ok := b.Extra.(*dedupcache.Snapshot)
+		return ok && x.Extra == y.Extra
+	case *thesaurus.Snapshot:
+		y, ok := b.Extra.(*thesaurus.Snapshot)
+		if !ok || x.Cfg != y.Cfg || x.Extra != y.Extra || x.Adaptive != y.Adaptive ||
+			x.BaseCache != y.BaseCache || x.LiveClusters != y.LiveClusters ||
+			x.ValidClusters != y.ValidClusters ||
+			(x.DiffSeries == nil) != (y.DiffSeries == nil) ||
+			len(x.DiffSeries) != len(y.DiffSeries) {
+			return false
+		}
+		for i := range x.DiffSeries {
+			if math.Float64bits(x.DiffSeries[i]) != math.Float64bits(y.DiffSeries[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

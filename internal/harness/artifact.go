@@ -6,15 +6,20 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/sim"
+	"repro/internal/thesaurus"
 	"repro/internal/workload"
 )
 
 // artifacts is the process-wide on-disk recording cache (L2 behind the
 // in-memory memo). nil disables persistence. It is installed once at
-// startup by the CLIs, before any recording runs.
+// startup by the CLIs, before any recording runs. runCacheOff disables
+// just the run-level layer (whole RunOutput snapshots) while keeping the
+// recording layer: the cache-identity CI gate uses it to prove the
+// layers are independently byte-transparent.
 var (
 	artifacts      atomic.Pointer[artifact.Cache]
 	artifactVerify atomic.Bool
+	runCacheOff    atomic.Bool
 )
 
 // UseArtifacts installs c as the persistent recording cache consulted by
@@ -24,11 +29,17 @@ var (
 // runs later share the memoized recording.
 func UseArtifacts(c *artifact.Cache) { artifacts.Store(c) }
 
-// SetArtifactVerify enables paranoid mode: every artifact hit is followed
-// by a full re-recording and deep comparison, and a divergence fails the
-// run loudly. This is the guard against stale-key bugs (a parameter that
-// influences recording but is missing from the content key).
+// SetArtifactVerify enables paranoid mode: every artifact hit (recording
+// or whole run) is followed by a full recomputation and deep comparison,
+// and a divergence fails the run loudly. This is the guard against
+// stale-key bugs (a parameter that influences the result but is missing
+// from the content key).
 func SetArtifactVerify(v bool) { artifactVerify.Store(v) }
+
+// SetRunCache enables or disables the run-level artifact layer (whole
+// RunOutput snapshots). Recording artifacts are unaffected; with the run
+// layer off, a warm cache still skips recording but replays every cell.
+func SetRunCache(enabled bool) { runCacheOff.Store(!enabled) }
 
 // ArtifactStats returns the installed cache's counters; ok is false when
 // no cache is installed.
@@ -69,4 +80,74 @@ func recordOrLoad(name string, accesses int) (*sim.Recorded, error) {
 		}
 	}
 	return rec, nil
+}
+
+// effectiveThesaurusConfig resolves the configuration a Thesaurus run
+// will actually execute with — the same normalization runOnce applies
+// (nil means paper defaults; DiffSeriesWindow 0 means the Fig. 19
+// default window). The run-level content key must hash the effective
+// configuration, not the requested one, or equivalent runs would key
+// differently. Returns nil for non-Thesaurus designs: their runs don't
+// read the configuration at all.
+func effectiveThesaurusConfig(design string, opt RunOptions) *thesaurus.Config {
+	if design != "Thesaurus" {
+		return nil
+	}
+	cfg := thesaurus.DefaultConfig()
+	if opt.Thesaurus != nil {
+		cfg = *opt.Thesaurus
+	}
+	if cfg.DiffSeriesWindow == 0 {
+		cfg.DiffSeriesWindow = 512
+	}
+	return &cfg
+}
+
+// runOrLoad is the body of Run's computation behind the in-memory layers:
+// it consults the run-level artifact cache (when installed and enabled)
+// before paying for a replay. For memoized default-config runs it
+// executes inside the coalesce flight, so the disk lookup happens exactly
+// once per key per process; custom-configuration runs (sweeps, ablations)
+// go through it directly — they are not memoized in memory (they would
+// pin hundreds of read-once results) but disk persistence has no such
+// concern, and warm ablation reruns are where a campaign spends most of
+// its time.
+func runOrLoad(profile, design string, opt RunOptions, sample bool) (*RunOutput, error) {
+	c := artifacts.Load()
+	if c == nil || runCacheOff.Load() {
+		return runOnce(profile, design, opt, sample)
+	}
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return nil, err
+	}
+	// Fig. 16 sampling only happens on Thesaurus runs; for every other
+	// design the flag changes nothing about the result, so keying it
+	// would split identical runs across two cache entries.
+	keySample := sample && design == "Thesaurus"
+	key := artifact.RunOutputKey(p, sim.DefaultSystem(), design, opt.Accesses,
+		opt.Replay, keySample, effectiveThesaurusConfig(design, opt))
+	compute := func() (*artifact.RunOutput, error) {
+		out, err := runOnce(profile, design, opt, sample)
+		if err != nil {
+			return nil, err
+		}
+		return &artifact.RunOutput{Res: out.Res, Snap: out.Snap, ClusterFracs: out.ClusterFracs}, nil
+	}
+	art, hit, err := c.LoadOrRunOutput(key, compute)
+	if err != nil {
+		return nil, err
+	}
+	if hit && artifactVerify.Load() {
+		fresh, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		if !artifact.RunOutputEqual(art, fresh) {
+			return nil, fmt.Errorf(
+				"harness: artifact verify failed for %s/%s/%d: cached run diverges from recomputation (stale content key?)",
+				profile, design, opt.Accesses)
+		}
+	}
+	return &RunOutput{Res: art.Res, Snap: art.Snap, ClusterFracs: art.ClusterFracs}, nil
 }

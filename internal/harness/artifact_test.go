@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/sim"
+	"repro/internal/thesaurus"
 	"repro/internal/workload"
 )
 
@@ -122,6 +123,146 @@ func TestArtifactVerifyDetectsDivergence(t *testing.T) {
 	}
 	if st, _ := ArtifactStats(); st.Hits != 1 {
 		t.Fatalf("verified warm load not counted as hit: %+v", st)
+	}
+}
+
+// forgetRun drops the in-memory run memo entry, simulating a fresh
+// process over a warm artifact directory.
+func forgetRun(profile, design string, opt RunOptions) {
+	runCache.Delete(runKey(profile, design, opt))
+}
+
+func toArtifactRun(o *RunOutput) *artifact.RunOutput {
+	return &artifact.RunOutput{Res: o.Res, Snap: o.Snap, ClusterFracs: o.ClusterFracs}
+}
+
+// TestRunCacheServesWarmRun: with the artifact cache installed, a run
+// whose memo entry is gone (fresh process) is served from disk without
+// replaying, and the served output equals the computed one.
+func TestRunCacheServesWarmRun(t *testing.T) {
+	const prof, design = "mcf", "Thesaurus"
+	opt := DefaultRunOptions()
+	opt.Accesses = 5031
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	defer UseArtifacts(nil)
+
+	before := replays.Load()
+	cold, err := Run(prof, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := replays.Load() - before; delta != 1 {
+		t.Fatalf("cold run replayed %d times, want 1", delta)
+	}
+
+	forgetRun(prof, design, opt)
+	forgetRecording(prof, opt.Accesses)
+	before = replays.Load()
+	warm, err := Run(prof, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := replays.Load() - before; delta != 0 {
+		t.Fatalf("warm run replayed %d times, want 0 (run-level cache not consulted)", delta)
+	}
+	if !artifact.RunOutputEqual(toArtifactRun(cold), toArtifactRun(warm)) {
+		t.Fatal("warm run output differs from cold")
+	}
+
+	// With the run layer disabled, the warm rerun must replay again (the
+	// recording layer still serves, so exactly one replay, no recording).
+	SetRunCache(false)
+	defer SetRunCache(true)
+	forgetRun(prof, design, opt)
+	forgetRecording(prof, opt.Accesses)
+	before = replays.Load()
+	rerun, err := Run(prof, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := replays.Load() - before; delta != 1 {
+		t.Fatalf("run-cache-off warm rerun replayed %d times, want 1", delta)
+	}
+	if !artifact.RunOutputEqual(toArtifactRun(cold), toArtifactRun(rerun)) {
+		t.Fatal("run-cache-off rerun output differs")
+	}
+}
+
+// TestRunCacheServesCustomConfigs: sweep/ablation runs are not memoized
+// in memory (they would pin read-once results), but the disk layer has no
+// such concern — a repeated custom-configuration run must come back from
+// the artifact cache without replaying.
+func TestRunCacheServesCustomConfigs(t *testing.T) {
+	const prof, design = "mcf", "Thesaurus"
+	cfg := thesaurus.DefaultConfig()
+	cfg.VictimCandidates = 2
+	opt := DefaultRunOptions()
+	opt.Accesses = 5039
+	opt.Thesaurus = &cfg
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	defer UseArtifacts(nil)
+
+	before := replays.Load()
+	cold, err := Run(prof, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := replays.Load() - before; delta != 1 {
+		t.Fatalf("cold custom run replayed %d times, want 1", delta)
+	}
+	before = replays.Load()
+	warm, err := Run(prof, design, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta := replays.Load() - before; delta != 0 {
+		t.Fatalf("repeated custom run replayed %d times, want 0 (disk-served)", delta)
+	}
+	if !artifact.RunOutputEqual(toArtifactRun(cold), toArtifactRun(warm)) {
+		t.Fatal("disk-served custom run differs from computed one")
+	}
+}
+
+// TestRunCacheVerifyDetectsDivergence: with -cache-verify on, a planted
+// wrong run artifact under the canonical key fails the run loudly.
+func TestRunCacheVerifyDetectsDivergence(t *testing.T) {
+	const prof, design = "mcf", "Baseline"
+	opt := DefaultRunOptions()
+	opt.Accesses = 5051
+	c, err := artifact.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	UseArtifacts(c)
+	SetArtifactVerify(true)
+	defer func() {
+		SetArtifactVerify(false)
+		UseArtifacts(nil)
+	}()
+
+	// Compute the wrong design's output and plant it under the right
+	// design's key, exactly what a stale content key would cause.
+	wrong, err := Run(prof, "BDI", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := workload.ProfileByName(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := artifact.RunOutputKey(p, sim.DefaultSystem(), design, opt.Accesses, opt.Replay, false, nil)
+	c.StoreRunOutput(key, toArtifactRun(wrong))
+
+	if _, err := Run(prof, design, opt); err == nil || !strings.Contains(err.Error(), "verify failed") {
+		t.Fatalf("planted run divergence not detected: err = %v", err)
 	}
 }
 

@@ -196,10 +196,15 @@ func Run(profile, design string, opt RunOptions) (*RunOutput, error) {
 	memoize := (opt.Thesaurus == nil || *opt.Thesaurus == thesaurus.DefaultConfig()) &&
 		opt.Replay.OnSample == nil
 	if !memoize {
-		return runOnce(profile, design, opt, false)
+		// An OnSample hook must observe its own live replay, so it can
+		// never be served from the run-level disk cache either.
+		if opt.Replay.OnSample != nil {
+			return runOnce(profile, design, opt, false)
+		}
+		return runOrLoad(profile, design, opt, false)
 	}
 	out, err := coalesce(&runCache, &runFlights, runKey(profile, design, opt), func() (*RunOutput, error) {
-		return runOnce(profile, design, opt, true)
+		return runOrLoad(profile, design, opt, true)
 	})
 	if err != nil {
 		return nil, err

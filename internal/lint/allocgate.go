@@ -21,7 +21,9 @@ import (
 //     scratch-reuse idiom `x = append(x, …)` is the sanctioned shape)
 //   - calls into fmt, errors, sort, reflect, and regexp (formatting and
 //     reflection allocate; hot errors must be package-level sentinels)
-//   - interface conversions that box a non-pointer value, method values
+//   - interface conversions that box a non-pointer value — explicit, and
+//     implicit at call arguments, assignments, variable declarations,
+//     returns, channel sends, and struct-literal fields — method values
 //     (bound-method closures), and function literals
 //   - string↔[]byte conversions, defer inside a loop, go statements, and
 //     map iteration
@@ -29,9 +31,13 @@ import (
 // Descent stops at functions annotated //thesaurus:allocok <reason> — the
 // sanctioned allocation boundaries (cold pool refills, amortized growth).
 // Arguments of panic calls are exempt: a dying process may format its
-// last words. Calls through function values and implicit interface
-// conversions outside call arguments are not tracked; the compiler-proven
-// escape budget (alloc.budget, thesauruslint -escapes) backstops those.
+// last words. Calls through function values are followed
+// flow-insensitively: the callee set is every function bound to the
+// called identifier by an assignment or declaration anywhere in the
+// callee's unit, and denylisted functions reached that way are flagged at
+// the call site. Function values carried through struct fields remain
+// untracked; the compiler-proven escape budget (alloc.budget,
+// thesauruslint -escapes) backstops those.
 //
 // Findings are worded identically from whichever analysis unit reaches a
 // construct, so the runner's global dedup collapses multi-root reports.
@@ -88,10 +94,11 @@ func runAllocGate(pass *Pass) {
 // universe: the current analysis unit plus every module-internal package
 // it transitively imports.
 type allocUnit struct {
-	pkg   *types.Package
-	files []*ast.File
-	info  *types.Info
-	decls map[types.Object]*ast.FuncDecl
+	pkg      *types.Package
+	files    []*ast.File
+	info     *types.Info
+	decls    map[types.Object]*ast.FuncDecl
+	bindings map[types.Object][]*types.Func
 }
 
 // declIndex maps the unit's function objects to their declarations.
@@ -110,6 +117,74 @@ func (u *allocUnit) declIndex() map[types.Object]*ast.FuncDecl {
 		}
 	}
 	return u.decls
+}
+
+// funcBindings maps variable objects to the functions assigned to them
+// anywhere in the unit, flow-insensitively and in source order. It is the
+// callee set for calls through function values: an over-approximation
+// (every binding counts, whichever one is live), which is the sound
+// direction for an allocation gate.
+func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
+	if u.bindings != nil {
+		return u.bindings
+	}
+	u.bindings = map[types.Object][]*types.Func{}
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := objectOf(u.info, id)
+		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		fn := funcDenoted(u.info, rhs)
+		if fn == nil {
+			return
+		}
+		for _, have := range u.bindings[obj] {
+			if have == fn {
+				return
+			}
+		}
+		u.bindings[obj] = append(u.bindings[obj], fn)
+	}
+	for _, f := range u.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						bind(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						bind(x.Names[i], x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return u.bindings
+}
+
+// funcDenoted resolves an expression that names a function — an ident or
+// a method/package selector used as a value — to its *types.Func.
+func funcDenoted(info *types.Info, e ast.Expr) *types.Func {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if fn, ok := objectOf(info, x).(*types.Func); ok {
+			return origin(fn)
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := objectOf(info, x.Sel).(*types.Func); ok {
+			return origin(fn)
+		}
+	}
+	return nil
 }
 
 type allocWalker struct {
@@ -218,9 +293,39 @@ func (w *allocWalker) checkFunc(fn *types.Func) []*types.Func {
 		return nil // sanctioned allocation boundary: do not descend
 	}
 	label := funcLabel(fn)
+	sig, _ := fn.Type().(*types.Signature)
 	var callees []*types.Func
 	walkStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
 		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if x.Tok == token.ASSIGN && len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					w.checkImplicitBox(u, x.Rhs[i], u.info.TypeOf(x.Lhs[i]), label, "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			if x.Type != nil && len(x.Names) == len(x.Values) {
+				dst := u.info.TypeOf(x.Type)
+				for _, v := range x.Values {
+					w.checkImplicitBox(u, v, dst, label, "variable declaration")
+				}
+			}
+		case *ast.ReturnStmt:
+			// FuncLit subtrees are pruned, so these results belong to the
+			// hot function's own signature. Naked returns have no
+			// conversion site; assignments to named results are caught by
+			// the assignment case.
+			if sig != nil {
+				if res := sig.Results(); res != nil && len(x.Results) == res.Len() {
+					for i, r := range x.Results {
+						w.checkImplicitBox(u, r, res.At(i).Type(), label, "return")
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if ch, ok := u.info.TypeOf(x.Chan).Underlying().(*types.Chan); ok {
+				w.checkImplicitBox(u, x.Value, ch.Elem(), label, "channel send")
+			}
 		case *ast.UnaryExpr:
 			if x.Op == token.AND {
 				if _, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
@@ -230,7 +335,7 @@ func (w *allocWalker) checkFunc(fn *types.Func) []*types.Func {
 				}
 			}
 		case *ast.CompositeLit:
-			switch u.info.TypeOf(x).Underlying().(type) {
+			switch t := u.info.TypeOf(x).Underlying().(type) {
 			case *types.Slice:
 				w.pass.Reportf(x.Pos(),
 					"slice literal in hot-path function %s allocates backing storage; reuse a preallocated scratch slice", label)
@@ -239,6 +344,20 @@ func (w *allocWalker) checkFunc(fn *types.Func) []*types.Func {
 				w.pass.Reportf(x.Pos(),
 					"map literal in hot-path function %s allocates; hoist the map to construction", label)
 				return false
+			case *types.Struct:
+				// The literal itself is stack-resident, but an interface
+				// field still boxes its initializer.
+				for i, el := range x.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							if f := structFieldByName(t, id.Name); f != nil {
+								w.checkImplicitBox(u, kv.Value, f.Type(), label, "struct-literal field")
+							}
+						}
+					} else if i < t.NumFields() {
+						w.checkImplicitBox(u, el, t.Field(i).Type(), label, "struct-literal field")
+					}
+				}
 			}
 			// Value struct/array literals live on the stack: allowed.
 		case *ast.CallExpr:
@@ -315,7 +434,29 @@ func (w *allocWalker) checkCall(u *allocUnit, call *ast.CallExpr, stack []ast.No
 	}
 	fn := calleeFunc(u.info, call)
 	if fn == nil {
-		return true // call through a function value: not tracked (see doc)
+		// Call through a function value: the callee is not syntactically
+		// known, so follow every function bound to the identifier anywhere
+		// in the unit. Arguments are checked against the value's static
+		// signature either way.
+		denied := false
+		for _, bound := range w.boundCallees(u, call.Fun) {
+			if w.denyCall(call.Pos(), bound, label) {
+				denied = true
+				continue
+			}
+			if pkg := bound.Pkg(); pkg != nil &&
+				(w.pass.loader != nil && w.moduleInternal(pkg.Path()) || w.byPkg[pkg] != nil) {
+				*callees = append(*callees, bound)
+			}
+		}
+		if !denied {
+			if ft := u.info.TypeOf(call.Fun); ft != nil {
+				if sig, ok := ft.Underlying().(*types.Signature); ok {
+					w.boxingArgs(u, call, sig, label)
+				}
+			}
+		}
+		return true
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
@@ -326,23 +467,71 @@ func (w *allocWalker) checkCall(u *allocUnit, call *ast.CallExpr, stack []ast.No
 		return true
 	}
 	if pkg := fn.Pkg(); pkg != nil {
-		path := pkg.Path()
-		for _, deny := range allocDenyPkgs {
-			if path == deny {
-				w.pass.Reportf(call.Pos(),
-					"call to %s.%s in hot-path function %s allocates; precompute, use package-level sentinel errors, or mark a sanctioned boundary //thesaurus:allocok <reason>",
-					path, fn.Name(), label)
-				return true
-			}
+		if w.denyCall(call.Pos(), fn, label) {
+			return true
 		}
 		if sig != nil {
 			w.boxingArgs(u, call, sig, label)
 		}
-		if w.pass.loader != nil && w.moduleInternal(path) || w.byPkg[pkg] != nil {
+		if w.pass.loader != nil && w.moduleInternal(pkg.Path()) || w.byPkg[pkg] != nil {
 			*callees = append(*callees, fn)
 		}
 	}
 	return true
+}
+
+// boundCallees resolves a call through a function value to the functions
+// assigned to the called identifier anywhere in the unit. Only idents
+// (locals and package-level vars) are tracked; function values carried
+// through struct fields fall to the escape budget.
+func (w *allocWalker) boundCallees(u *allocUnit, fun ast.Expr) []*types.Func {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := objectOf(u.info, id)
+	if _, ok := obj.(*types.Var); !ok {
+		return nil
+	}
+	return u.funcBindings()[obj]
+}
+
+// denyCall reports fn if it lives in a denylisted standard-library
+// package, returning whether it did.
+func (w *allocWalker) denyCall(pos token.Pos, fn *types.Func, label string) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, deny := range allocDenyPkgs {
+		if pkg.Path() == deny {
+			w.pass.Reportf(pos,
+				"call to %s.%s in hot-path function %s allocates; precompute, use package-level sentinel errors, or mark a sanctioned boundary //thesaurus:allocok <reason>",
+				pkg.Path(), fn.Name(), label)
+			return true
+		}
+	}
+	return false
+}
+
+// checkImplicitBox flags an implicit concrete→interface conversion at a
+// non-call site — assignment, declaration, return, channel send,
+// struct-literal field. The conversion is invisible in the source but
+// allocates all the same.
+func (w *allocWalker) checkImplicitBox(u *allocUnit, e ast.Expr, dst types.Type, label, site string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	src := u.info.TypeOf(e)
+	if src == nil || types.IsInterface(src) || pointerShaped(src) {
+		return
+	}
+	if b, ok := src.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	w.pass.Reportf(e.Pos(),
+		"%s boxes a %s into an interface in hot-path function %s; pass a pointer or keep the value concrete",
+		site, typeLabel(src), label)
 }
 
 // boxingArgs flags arguments boxed into interface parameters: the
@@ -513,6 +702,17 @@ func stringBytesConversion(dst, src types.Type) bool {
 		return false
 	}
 	return (isStr(dst) && isByteish(src)) || (isByteish(dst) && isStr(src))
+}
+
+// structFieldByName resolves a keyed composite-literal field name to its
+// struct field.
+func structFieldByName(t *types.Struct, name string) *types.Var {
+	for i := 0; i < t.NumFields(); i++ {
+		if f := t.Field(i); f.Name() == name {
+			return f
+		}
+	}
+	return nil
 }
 
 // typeLabel renders a type without package qualification, for stable

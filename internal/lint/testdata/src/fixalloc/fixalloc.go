@@ -204,3 +204,66 @@ func direct(r *ring, xs []int) int {
 	r.Push(total)
 	return total
 }
+
+// sink is package-level interface storage: assigning a value into it
+// boxes even though no call is in sight.
+var sink any
+
+// holder has an interface field for the struct-literal boxing case.
+type holder struct{ v any }
+
+// Implicit boxing away from call arguments (allocgate: assignment,
+// declaration, return, channel send, struct-literal field; clean for
+// pointers, interfaces, and nil).
+//
+//thesaurus:hotpath
+func implicitBoxes(c *counter, ch chan any) any {
+	sink = c.n
+	sink = c
+	sink = nil
+	var local any = c.n
+	h := holder{v: c.n}
+	hp := holder{local}
+	ch <- c.n
+	ch <- hp.v
+	_ = h
+	return c.n
+}
+
+// valueAlloc is reached only through function values (allocgate: make
+// inside, labelled with valueAlloc, found from both the local and the
+// package-level binding).
+func valueAlloc(n int) int {
+	buf := make([]byte, n)
+	return len(buf)
+}
+
+func passthrough(n int) int { return n }
+
+// hook is a package-level function-value binding; the walk follows it
+// from any call site in the unit (the closure dedup keeps valueAlloc's
+// finding single even though two bindings reach it).
+var hook = valueAlloc
+
+// Calls through function values are followed to every function bound to
+// the identifier, flow-insensitively (the conditional rebind still
+// counts). The calls themselves are clean; the finding lands inside
+// valueAlloc.
+//
+//thesaurus:hotpath
+func viaFuncValue(n int) int {
+	f := passthrough
+	if n > 0 {
+		f = valueAlloc
+	}
+	return f(n) + hook(n)
+}
+
+// A denylisted function reached through a binding is flagged at the call
+// site (allocgate: fmt.Sprintf via the format variable).
+//
+//thesaurus:hotpath
+func viaDeniedValue(n int) string {
+	format := fmt.Sprintf
+	return format("%d", n)
+}

@@ -1,0 +1,177 @@
+// Package spool implements the on-disk work queue behind the campaign
+// coordinator (cmd/thesaurus -distribute / -worker). A queue is a plain
+// directory of one JSON file per task; workers claim tasks by atomically
+// renaming them, so any number of worker processes can drain one queue
+// with no coordination beyond the filesystem:
+//
+//	task-0007.json   unclaimed
+//	task-0007.work   claimed, in progress
+//	task-0007.done   completed (renamed from .work)
+//	task-0007.fail   failed (result JSON carries the error)
+//
+// rename(2) is atomic within a directory, so exactly one claimant wins
+// each task; the losers see ENOENT and move to the next candidate. A
+// crashed worker leaves its .work file behind — the coordinator treats
+// anything not .done as "compute it myself", so a lost task costs only
+// the redundant work, never correctness (the run-level artifact cache is
+// the actual result channel; the queue only partitions the work).
+package spool
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Task is one design × profile cell of a campaign matrix, carrying every
+// run parameter the worker needs to reproduce the coordinator's exact
+// content key (the replay scalars mirror sim.ReplayOptions).
+type Task struct {
+	ID       int    `json:"id"`
+	Profile  string `json:"profile"`
+	Design   string `json:"design"`
+	Accesses int    `json:"accesses"`
+
+	WarmupFraction float64 `json:"warmup_fraction"`
+	SampleEvery    int     `json:"sample_every"`
+	Verify         bool    `json:"verify,omitempty"`
+}
+
+// Result is written next to a finished task (as .done or .fail).
+type Result struct {
+	ID  int    `json:"id"`
+	Err string `json:"err,omitempty"`
+}
+
+func taskPath(dir string, id int, ext string) string {
+	return filepath.Join(dir, fmt.Sprintf("task-%05d%s", id, ext))
+}
+
+// Write populates dir with one file per task. It must run before any
+// worker starts on the directory: tasks are written in place (the
+// directory itself is the not-yet-published staging area).
+func Write(dir string, tasks []Task) error {
+	for _, t := range tasks {
+		data, err := json.Marshal(t)
+		if err != nil {
+			return fmt.Errorf("spool: marshal task %d: %w", t.ID, err)
+		}
+		if err := os.WriteFile(taskPath(dir, t.ID, ".json"), data, 0o644); err != nil {
+			return fmt.Errorf("spool: write task %d: %w", t.ID, err)
+		}
+	}
+	return nil
+}
+
+// Claim atomically takes one unclaimed task from dir. ok is false when no
+// unclaimed tasks remain (the queue is drained — .work files held by
+// other workers do not count as claimable). Claim losses against other
+// workers are retried internally on the next candidate.
+func Claim(dir string) (t Task, ok bool, err error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return Task{}, false, fmt.Errorf("spool: claim: %w", err)
+	}
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasPrefix(name, "task-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		claimed := strings.TrimSuffix(name, ".json") + ".work"
+		if os.Rename(filepath.Join(dir, name), filepath.Join(dir, claimed)) != nil {
+			continue // another worker won this one
+		}
+		data, rerr := os.ReadFile(filepath.Join(dir, claimed))
+		if rerr == nil {
+			rerr = json.Unmarshal(data, &t)
+		}
+		if rerr != nil {
+			// A task we can claim but not parse is poisoned: surface it —
+			// the coordinator wrote it, so this is a bug, not weather.
+			return Task{}, false, fmt.Errorf("spool: claimed %s: %w", name, rerr)
+		}
+		return t, true, nil
+	}
+	return Task{}, false, nil
+}
+
+// Finish marks a claimed task completed (taskErr nil) or failed. The
+// .work file is replaced by the result marker in one rename-after-write,
+// so Progress never observes a half-written marker as terminal.
+func Finish(dir string, id int, taskErr error) error {
+	res := Result{ID: id}
+	ext := ".done"
+	if taskErr != nil {
+		res.Err = taskErr.Error()
+		ext = ".fail"
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("spool: marshal result %d: %w", id, err)
+	}
+	tmp := taskPath(dir, id, ".res-tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("spool: write result %d: %w", id, err)
+	}
+	if err := os.Rename(tmp, taskPath(dir, id, ext)); err != nil {
+		return fmt.Errorf("spool: publish result %d: %w", id, err)
+	}
+	os.Remove(taskPath(dir, id, ".work"))
+	return nil
+}
+
+// Progress counts the queue's terminal states.
+type Progress struct {
+	Pending, Working, Done, Failed int
+}
+
+// Scan reports the queue's current state.
+func Scan(dir string) (Progress, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return Progress{}, fmt.Errorf("spool: scan: %w", err)
+	}
+	var p Progress
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasPrefix(name, "task-") {
+			continue
+		}
+		switch filepath.Ext(name) {
+		case ".json":
+			p.Pending++
+		case ".work":
+			p.Working++
+		case ".done":
+			p.Done++
+		case ".fail":
+			p.Failed++
+		}
+	}
+	return p, nil
+}
+
+// Failures returns the error strings of failed tasks, in task order.
+func Failures(dir string) ([]string, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spool: failures: %w", err)
+	}
+	var msgs []string
+	for _, e := range names {
+		if filepath.Ext(e.Name()) != ".fail" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var r Result
+		if json.Unmarshal(data, &r) == nil {
+			msgs = append(msgs, fmt.Sprintf("task %d: %s", r.ID, r.Err))
+		}
+	}
+	return msgs, nil
+}

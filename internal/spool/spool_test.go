@@ -1,0 +1,133 @@
+package spool
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func mkTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID: i, Profile: "mcf", Design: "Thesaurus",
+			Accesses: 1000, WarmupFraction: 0.25, SampleEvery: 2048,
+		}
+	}
+	return tasks
+}
+
+// Every task is claimed exactly once no matter how many goroutines race
+// over the queue — the rename-claim is the whole correctness argument of
+// the multi-process coordinator, so it is pinned here (goroutines and
+// processes contend through the same rename(2) semantics).
+func TestClaimExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	const n = 50
+	if err := Write(dir, mkTasks(n)); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var claimed []int
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok, err := Claim(dir)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					return
+				}
+				mu.Lock()
+				claimed = append(claimed, task.ID)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(claimed) != n {
+		t.Fatalf("claimed %d tasks, want %d", len(claimed), n)
+	}
+	sort.Ints(claimed)
+	for i, id := range claimed {
+		if id != i {
+			t.Fatalf("claimed[%d] = %d: task claimed twice or lost", i, id)
+		}
+	}
+}
+
+func TestClaimRoundTripsTask(t *testing.T) {
+	dir := t.TempDir()
+	want := Task{ID: 3, Profile: "xz", Design: "BDI", Accesses: 42,
+		WarmupFraction: 0.5, SampleEvery: 128, Verify: true}
+	if err := Write(dir, []Task{want}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := Claim(dir)
+	if err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("claimed task %+v, want %+v", got, want)
+	}
+	if _, ok, _ := Claim(dir); ok {
+		t.Fatal("second Claim succeeded on a single-task queue")
+	}
+}
+
+func TestFinishAndScan(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, mkTasks(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, err := Claim(dir); err != nil || !ok {
+			t.Fatalf("Claim %d = %v, %v", i, ok, err)
+		}
+	}
+	if err := Finish(dir, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Finish(dir, 1, errors.New("replay exploded")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != (Progress{Pending: 1, Working: 0, Done: 1, Failed: 1}) {
+		t.Fatalf("Scan = %+v", p)
+	}
+	msgs, err := Failures(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0] != "task 1: replay exploded" {
+		t.Fatalf("Failures = %q", msgs)
+	}
+}
+
+// A crashed worker's .work file must stay non-terminal: the coordinator
+// counts only .done as complete and recomputes the rest itself.
+func TestAbandonedClaimStaysWorking(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, mkTasks(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := Claim(dir); err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+	p, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Working != 1 || p.Done != 0 || p.Pending != 0 {
+		t.Fatalf("Scan after abandoned claim = %+v", p)
+	}
+}
