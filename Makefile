@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet fmtcheck lint allocgate alloc-budget lint-fix-check build test race fuzz bench benchsmoke bench-json bench-diff cache-identity clean-cache
+.PHONY: ci vet fmtcheck lint allocgate alloc-budget lint-fix-check registry-check build test race fuzz bench benchsmoke bench-json bench-diff cache-identity clean-cache
 
-ci: fmtcheck vet lint allocgate lint-fix-check build test race benchsmoke cache-identity
+ci: fmtcheck vet lint allocgate lint-fix-check registry-check build test race benchsmoke cache-identity
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,13 @@ alloc-budget:
 # these are the regression tests that pin both properties.
 lint-fix-check:
 	$(GO) test -run 'TestFixIdempotence|TestApplyEditsOverlap' ./internal/lint
+
+# Registry completeness (internal/scheme): every registered design must
+# build by name, report its registered name, and round-trip its release
+# snapshot through its codec hook — a half-wired scheme fails here, not
+# in a stale artifact cache.
+registry-check:
+	$(GO) test -run 'TestRegistryOrderAndHarnessAgreement|TestEverySchemeIsComplete' ./internal/scheme
 
 build:
 	$(GO) build ./...

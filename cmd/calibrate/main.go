@@ -16,7 +16,7 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/harness"
-	"repro/internal/thesaurus"
+	"repro/internal/scheme"
 	"repro/internal/workload"
 )
 
@@ -72,11 +72,8 @@ func main() {
 				os.Exit(1)
 			}
 			extra := ""
-			if ts, ok := snap.Extra.(*thesaurus.Snapshot); ok {
-				e := ts.Extra
-				extra = fmt.Sprintf("  comp%%=%.1f diff=%.1fB bcache=%.3f fmt[raw,b+d,0+d,base,z]=%v fps=%d/%d",
-					100*e.CompressibleFraction(), e.AvgDiffBytes(), ts.BaseCache.HitRate(), e.ByFormat,
-					ts.LiveClusters, ts.ValidClusters)
+			if s, ok := scheme.Lookup(d); ok && s.Summary != nil && snap.Extra != nil {
+				extra = s.Summary(snap.Extra)
 			}
 			fmt.Printf("  %-12s CR=%5.2f occ=%.3f MPKI=%7.3f IPC=%.3f hit=%8d miss=%8d (%4.1fs)%s\n",
 				d, res.CompressionRatio, res.Occupancy, res.MPKI, res.IPC,

@@ -14,11 +14,21 @@ import (
 	"repro/internal/workload"
 )
 
+// workReclaimAfter is how long a .work claim may sit untouched before a
+// live worker takes it back. Even the slowest single design × profile
+// cell finishes well inside this, so only a genuinely dead worker's
+// claims ever come back.
+const workReclaimAfter = 2 * time.Minute
+
 // runWorker drains the spool directory: claim a task, run its design ×
 // profile cell (which persists the RunOutput artifact into the shared
 // cache under the cross-process singleflight), mark it done, repeat
-// until the queue is empty. The artifact cache is the only result
-// channel — nothing about the run itself travels back through the spool.
+// until the queue is empty. When the queue looks drained it sweeps for
+// claims abandoned by crashed workers before exiting, so a dead peer's
+// tasks are finished by the survivors rather than falling through to the
+// coordinator's serial recompute pass. The artifact cache is the only
+// result channel — nothing about the run itself travels back through the
+// spool.
 func runWorker(spoolDir string) error {
 	if _, ok := harness.ArtifactStats(); !ok {
 		return errors.New("-worker requires the artifact cache (-no-cache is incompatible)")
@@ -29,6 +39,14 @@ func runWorker(spoolDir string) error {
 			return err
 		}
 		if !ok {
+			n, err := spool.Reclaim(spoolDir, workReclaimAfter)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				fmt.Fprintf(os.Stderr, "thesaurus worker: reclaimed %d abandoned task(s)\n", n)
+				continue
+			}
 			return nil
 		}
 		opt := harness.RunOptions{

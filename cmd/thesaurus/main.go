@@ -83,6 +83,11 @@ func reportArtifactStats() {
 		"artifact cache: %d hits, %d misses, %d stores, %d corrupt, %d evicted, %.1f MiB loaded, %.1f MiB stored\n",
 		st.Hits, st.Misses, st.Stores, st.Corrupt, st.Evictions,
 		float64(st.BytesLoaded)/(1<<20), float64(st.BytesStored)/(1<<20))
+	if st.TouchFailures > 0 {
+		fmt.Fprintf(os.Stderr,
+			"artifact cache: %d LRU touch failure(s) — entries age as if idle; check cache-dir permissions\n",
+			st.TouchFailures)
+	}
 }
 
 func main() {

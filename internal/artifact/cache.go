@@ -38,6 +38,7 @@ type Cache struct {
 	stores      atomic.Uint64
 	corrupt     atomic.Uint64
 	evictions   atomic.Uint64
+	touchFails  atomic.Uint64
 	bytesLoaded atomic.Uint64
 	bytesStored atomic.Uint64
 }
@@ -46,8 +47,14 @@ type Cache struct {
 type Stats struct {
 	Hits, Misses, Stores uint64
 	Corrupt, Evictions   uint64
-	BytesLoaded          uint64
-	BytesStored          uint64
+	// TouchFailures counts hits whose LRU mtime freshen failed. The hit
+	// itself is unaffected, but an entry that cannot be freshened ages
+	// toward eviction as if it were idle, so a persistently failing
+	// touch (read-only cache dir, exotic filesystem) surfaces here
+	// rather than as silent premature evictions.
+	TouchFailures uint64
+	BytesLoaded   uint64
+	BytesStored   uint64
 }
 
 // Open creates (if needed) and returns the cache rooted at dir.
@@ -70,13 +77,14 @@ func (c *Cache) Dir() string { return c.dir }
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Stores:      c.stores.Load(),
-		Corrupt:     c.corrupt.Load(),
-		Evictions:   c.evictions.Load(),
-		BytesLoaded: c.bytesLoaded.Load(),
-		BytesStored: c.bytesStored.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Stores:        c.stores.Load(),
+		Corrupt:       c.corrupt.Load(),
+		Evictions:     c.evictions.Load(),
+		TouchFailures: c.touchFails.Load(),
+		BytesLoaded:   c.bytesLoaded.Load(),
+		BytesStored:   c.bytesStored.Load(),
 	}
 }
 
@@ -129,8 +137,14 @@ func (c *Cache) load(key string, has func(*File) bool) (*File, bool) {
 		os.Remove(c.path(key))
 		return nil, false
 	}
+	// The mtime freshen is the LRU recency signal, not part of the hit:
+	// if it fails the caller still gets its data and the entry simply
+	// keeps aging. Count the failure so an unwritable cache shows up in
+	// the stderr stats instead of as mysterious evictions.
 	now := time.Now()
-	os.Chtimes(c.path(key), now, now)
+	if err := os.Chtimes(c.path(key), now, now); err != nil {
+		c.touchFails.Add(1)
+	}
 	c.hits.Add(1)
 	c.bytesLoaded.Add(uint64(len(data)))
 	return f, true

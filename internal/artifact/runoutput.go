@@ -4,19 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 
-	"repro/internal/bdi"
-	"repro/internal/bdicache"
-	"repro/internal/dedupcache"
-	"repro/internal/diffenc"
-	"repro/internal/line"
 	"repro/internal/llc"
-	"repro/internal/lsh"
+	"repro/internal/scheme"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/thesaurus"
-	"repro/internal/uncomp"
 	"repro/internal/workload"
 )
 
@@ -25,10 +17,14 @@ import (
 // structs field by field, so it must be bumped whenever sim.Result,
 // llc.StatsSnapshot, or any design's release-snapshot type gains, loses,
 // or reinterprets a field — and whenever replay semantics change in a way
-// the recording codec version does not already capture. The version is
-// both hashed into every run key and embedded in the section, so a bump
-// turns every cached run into a clean miss (never an error).
-const RunOutputVersion = 1
+// the recording codec version does not already capture. Registering a new
+// scheme (a new codec tag) is also a bump. The version is both hashed
+// into every run key and embedded in the section, so a bump turns every
+// cached run into a clean miss (never an error).
+//
+// v2: snapshot codecs moved to the scheme registry, CPack (tag 5) and
+// DISH (tag 6) designs added, per-scheme config folded into run keys.
+const RunOutputVersion = 2
 
 // RunOutput is a whole memoized run: the replay metrics, the released
 // cache's statistics snapshot, and the Fig. 16 cluster-size fractions.
@@ -40,27 +36,25 @@ type RunOutput struct {
 	ClusterFracs [4]float64
 }
 
-// Extra-snapshot union tags. The decoder rejects unknown tags as corrupt:
-// a new design requires a RunOutputVersion bump, which already turns old
-// files into misses before tag dispatch is reached.
-const (
-	extraNil       = 0
-	extraUncomp    = 1
-	extraBDI       = 2
-	extraDedup     = 3
-	extraThesaurus = 4
-)
+// extraNil is the wire tag of a snapshot with no design-specific Extra.
+// All other tags belong to scheme-registry codecs (scheme.CodecByTag);
+// the decoder rejects unknown tags as corrupt — a new design requires a
+// RunOutputVersion bump, which already turns old files into misses before
+// tag dispatch is reached.
+const extraNil = 0
 
 // RunOutputKey derives the content address of a whole run: the SHA-256 of
 // every input the replay's result depends on — both codec versions (the
 // recording feeds the run, so recording-semantics bumps must also miss),
 // the full profile descriptor, the complete SystemConfig (geometry AND
 // timing: unlike a recording, a run's IPC/cycle metrics depend on the
-// latency model), the design name, the trace length, every scalar
-// ReplayOptions field, whether the run sampled the Fig. 16 cluster-size
-// distribution, and — for Thesaurus runs — the effective (normalized)
-// Thesaurus configuration. Workers is deliberately excluded: results are
-// deterministic for any worker count (see harness.runKey).
+// latency model), the design name plus the scheme's default-config
+// fragment (so cached runs never alias across a silent default-config
+// change), the trace length, every scalar ReplayOptions field, whether
+// the run sampled the Fig. 16 cluster-size distribution, and — for
+// Thesaurus runs — the effective (normalized) Thesaurus configuration.
+// Workers is deliberately excluded: results are deterministic for any
+// worker count (see harness.runKey).
 func RunOutputKey(p workload.Profile, sys sim.SystemConfig, design string, accesses int,
 	replay sim.ReplayOptions, sample bool, thCfg *thesaurus.Config) string {
 	buf := make([]byte, 0, 512)
@@ -83,6 +77,10 @@ func RunOutputKey(p workload.Profile, sys sim.SystemConfig, design string, acces
 			math.Float64bits(sys.DRAM.Overhead))
 	}
 	buf = keyString(buf, design)
+	if s, ok := scheme.Lookup(design); ok && s.AppendConfigKey != nil {
+		buf = append(buf, 'C')
+		buf = s.AppendConfigKey(buf)
+	}
 	buf = keyU64(buf, uint64(accesses),
 		math.Float64bits(replay.WarmupFraction),
 		uint64(replay.SampleEvery), boolU64(replay.Verify), boolU64(sample))
@@ -167,137 +165,69 @@ func appendResult(dst []byte, r *sim.Result) []byte {
 	return binary.AppendUvarint(dst, uint64(r.Samples))
 }
 
+// appendStatsSnapshot writes the snapshot's common fields and dispatches
+// the design-specific Extra to its scheme-registry codec by snapshot
+// type: a nil Extra is the generic nil tag, everything else must match a
+// registered codec.
 func appendStatsSnapshot(dst []byte, s *llc.StatsSnapshot) []byte {
 	dst = appendString(dst, s.Design)
 	dst = appendLLCStats(dst, &s.Stats)
-	switch x := s.Extra.(type) {
-	case nil:
-		dst = append(dst, extraNil)
-	case *uncomp.Snapshot:
-		dst = append(dst, extraUncomp)
-		dst = appendBool(dst, x.Lines != nil)
-		dst = binary.AppendUvarint(dst, uint64(len(x.Lines)))
-		for i := range x.Lines {
-			dst = append(dst, x.Lines[i][:]...)
-		}
-	case *bdicache.Snapshot:
-		dst = append(dst, extraBDI)
-		dst = binary.AppendUvarint(dst, x.Extra.Insertions)
-		dst = binary.AppendUvarint(dst, x.Extra.Compressed)
-		dst = binary.AppendUvarint(dst, x.Extra.SpaceEvictions)
-		dst = appendBool(dst, x.Extra.ByKind != nil)
-		kinds := make([]int, 0, len(x.Extra.ByKind))
-		for k := range x.Extra.ByKind {
-			kinds = append(kinds, int(k))
-		}
-		sort.Ints(kinds)
-		dst = binary.AppendUvarint(dst, uint64(len(kinds)))
-		for _, k := range kinds {
-			dst = binary.AppendUvarint(dst, uint64(k))
-			dst = binary.AppendUvarint(dst, x.Extra.ByKind[bdi.Kind(k)])
-		}
-	case *dedupcache.Snapshot:
-		dst = append(dst, extraDedup)
-		dst = binary.AppendUvarint(dst, x.Extra.Insertions)
-		dst = binary.AppendUvarint(dst, x.Extra.Deduped)
-		dst = binary.AppendUvarint(dst, x.Extra.FalseMatches)
-		dst = binary.AppendUvarint(dst, x.Extra.ListEvictions)
-	case *thesaurus.Snapshot:
-		dst = append(dst, extraThesaurus)
-		dst = appendThesaurusSnapshot(dst, x)
-	default:
-		// A design snapshot the codec does not know cannot be persisted
+	if s.Extra == nil {
+		return append(dst, extraNil)
+	}
+	c, ok := scheme.CodecFor(s.Extra)
+	if !ok {
+		// A design snapshot no registered codec owns cannot be persisted
 		// faithfully; encoding it would decode to silently wrong results.
-		panic(fmt.Sprintf("artifact: unencodable extra snapshot %T (extend the run-output codec and bump RunOutputVersion)", x))
+		panic(fmt.Sprintf("artifact: unencodable extra snapshot %T (register a scheme codec and bump RunOutputVersion)", s.Extra))
 	}
-	return dst
-}
-
-func appendThesaurusSnapshot(dst []byte, s *thesaurus.Snapshot) []byte {
-	c := &s.Cfg
-	dst = binary.AppendUvarint(dst, uint64(c.TagEntries))
-	dst = binary.AppendUvarint(dst, uint64(c.TagWays))
-	dst = binary.AppendUvarint(dst, uint64(c.DataSets))
-	dst = binary.AppendUvarint(dst, uint64(c.SegmentsPerSet))
-	dst = binary.AppendUvarint(dst, uint64(c.LSH.Bits))
-	dst = binary.AppendUvarint(dst, uint64(c.LSH.NonZeros))
-	dst = binary.AppendUvarint(dst, c.LSH.Seed)
-	dst = binary.AppendUvarint(dst, uint64(c.BaseCacheSets))
-	dst = binary.AppendUvarint(dst, uint64(c.BaseCacheWays))
-	dst = binary.AppendUvarint(dst, uint64(c.VictimCandidates))
-	dst = binary.AppendUvarint(dst, c.Seed)
-	dst = binary.AppendUvarint(dst, uint64(c.DiffSeriesWindow))
-	dst = appendBool(dst, c.BaseCachePlainLRU)
-	dst = appendBool(dst, c.IntraLineFallback)
-	dst = binary.AppendUvarint(dst, uint64(c.AdaptiveEpoch))
-	dst = binary.AppendUvarint(dst, uint64(c.WriteBufferDepth))
-
-	e := &s.Extra
-	dst = binary.AppendUvarint(dst, e.Insertions)
-	dst = binary.AppendUvarint(dst, e.Reencodes)
-	dst = binary.AppendUvarint(dst, e.Placements)
-	dst = binary.AppendUvarint(dst, uint64(len(e.ByFormat)))
-	for _, v := range e.ByFormat {
-		dst = binary.AppendUvarint(dst, v)
-	}
-	dst = binary.AppendUvarint(dst, e.Compressible)
-	dst = binary.AppendUvarint(dst, e.RawDueToBaseMiss)
-	dst = binary.AppendUvarint(dst, e.DiffBytesSum)
-	dst = binary.AppendUvarint(dst, e.DiffCount)
-	dst = binary.AppendUvarint(dst, e.DataEvictions)
-
-	dst = binary.AppendUvarint(dst, s.Adaptive.Epochs)
-	dst = binary.AppendUvarint(dst, s.Adaptive.DisabledEpochs)
-	dst = binary.AppendUvarint(dst, s.Adaptive.DisabledPlacements)
-
-	dst = appendBool(dst, s.DiffSeries != nil)
-	dst = binary.AppendUvarint(dst, uint64(len(s.DiffSeries)))
-	for _, f := range s.DiffSeries {
-		dst = appendF64(dst, f)
-	}
-
-	dst = binary.AppendUvarint(dst, s.BaseCache.ReadPath.Hits)
-	dst = binary.AppendUvarint(dst, s.BaseCache.ReadPath.Total)
-	dst = binary.AppendUvarint(dst, s.BaseCache.InsertPath.Hits)
-	dst = binary.AppendUvarint(dst, s.BaseCache.InsertPath.Total)
-	dst = binary.AppendUvarint(dst, uint64(s.BaseCache.Entries))
-	dst = binary.AppendUvarint(dst, uint64(s.BaseCache.StorageBytes))
-	dst = binary.AppendUvarint(dst, uint64(s.LiveClusters))
-	return binary.AppendUvarint(dst, uint64(s.ValidClusters))
+	dst = append(dst, c.Tag)
+	return c.Encode(dst, s.Extra)
 }
 
 // runDecoder threads the payload slice through the field readers so every
 // site gets bounds-checked without repeating the error plumbing. err
 // sticks: after the first failure every later read returns zero values.
+// The exported methods implement scheme.Decoder for the registry's
+// snapshot codec hooks.
 type runDecoder struct {
 	data []byte
 	err  error
 }
 
-func (d *runDecoder) fail(format string, args ...any) {
+var _ scheme.Decoder = (*runDecoder)(nil)
+
+// Fail implements scheme.Decoder: it marks the decode corrupt; the first
+// failure sticks.
+func (d *runDecoder) Fail(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: run-output "+format, append([]any{ErrCorrupt}, args...)...)
 	}
 }
 
-func (d *runDecoder) uvarint(what string) uint64 {
+// Err implements scheme.Decoder.
+func (d *runDecoder) Err() error { return d.err }
+
+// Uvarint implements scheme.Decoder.
+func (d *runDecoder) Uvarint(what string) uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.data)
 	if n <= 0 {
-		d.fail("%s", what)
+		d.Fail("%s", what)
 		return 0
 	}
 	d.data = d.data[n:]
 	return v
 }
 
-// count reads a uvarint that sizes a following allocation, bounding it.
-func (d *runDecoder) count(what string, max uint64) int {
-	v := d.uvarint(what)
+// Count implements scheme.Decoder: a uvarint that sizes a following
+// allocation, bounded by max.
+func (d *runDecoder) Count(what string, max uint64) int {
+	v := d.Uvarint(what)
 	if d.err == nil && v > max {
-		d.fail("%s %d exceeds bound %d", what, v, max)
+		d.Fail("%s %d exceeds bound %d", what, v, max)
 	}
 	if d.err != nil {
 		return 0
@@ -305,12 +235,13 @@ func (d *runDecoder) count(what string, max uint64) int {
 	return int(v)
 }
 
-func (d *runDecoder) f64(what string) float64 {
+// F64 implements scheme.Decoder.
+func (d *runDecoder) F64(what string) float64 {
 	if d.err != nil {
 		return 0
 	}
 	if len(d.data) < 8 {
-		d.fail("%s", what)
+		d.Fail("%s", what)
 		return 0
 	}
 	v := math.Float64frombits(binary.LittleEndian.Uint64(d.data))
@@ -318,12 +249,13 @@ func (d *runDecoder) f64(what string) float64 {
 	return v
 }
 
-func (d *runDecoder) boolByte(what string) bool {
+// Bool implements scheme.Decoder: one strict 0/1 byte.
+func (d *runDecoder) Bool(what string) bool {
 	if d.err != nil {
 		return false
 	}
 	if len(d.data) < 1 || d.data[0] > 1 {
-		d.fail("%s", what)
+		d.Fail("%s", what)
 		return false
 	}
 	b := d.data[0] == 1
@@ -331,13 +263,14 @@ func (d *runDecoder) boolByte(what string) bool {
 	return b
 }
 
-func (d *runDecoder) str(what string) string {
-	n := d.count(what+" length", 1<<20)
+// Str implements scheme.Decoder.
+func (d *runDecoder) Str(what string) string {
+	n := d.Count(what+" length", 1<<20)
 	if d.err != nil {
 		return ""
 	}
 	if len(d.data) < n {
-		d.fail("truncated %s", what)
+		d.Fail("truncated %s", what)
 		return ""
 	}
 	s := string(d.data[:n])
@@ -345,13 +278,28 @@ func (d *runDecoder) str(what string) string {
 	return s
 }
 
+// Bytes implements scheme.Decoder: exactly n raw bytes, aliasing the
+// decode buffer.
+func (d *runDecoder) Bytes(what string, n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.data) < n {
+		d.Fail("truncated %s", what)
+		return nil
+	}
+	b := d.data[:n]
+	d.data = d.data[n:]
+	return b
+}
+
 func (d *runDecoder) llcStats(s *llc.Stats) {
-	s.Reads = d.uvarint("stats reads")
-	s.Writes = d.uvarint("stats writes")
-	s.ReadHits = d.uvarint("stats read hits")
-	s.WriteHits = d.uvarint("stats write hits")
-	s.Fills = d.uvarint("stats fills")
-	s.Writebacks = d.uvarint("stats writebacks")
+	s.Reads = d.Uvarint("stats reads")
+	s.Writes = d.Uvarint("stats writes")
+	s.ReadHits = d.Uvarint("stats read hits")
+	s.WriteHits = d.Uvarint("stats write hits")
+	s.Fills = d.Uvarint("stats fills")
+	s.Writebacks = d.Uvarint("stats writebacks")
 }
 
 // decodeRunOutput parses one run-output section, returning the remaining
@@ -359,7 +307,7 @@ func (d *runDecoder) llcStats(s *llc.Stats) {
 // ErrVersionSkew (a miss); everything else is ErrCorrupt.
 func decodeRunOutput(data []byte) (*RunOutput, []byte, error) {
 	d := &runDecoder{data: data}
-	v := d.uvarint("section version")
+	v := d.Uvarint("section version")
 	if d.err != nil {
 		return nil, nil, d.err
 	}
@@ -371,7 +319,7 @@ func decodeRunOutput(data []byte) (*RunOutput, []byte, error) {
 	decodeResult(d, &r.Res)
 	decodeStatsSnapshot(d, &r.Snap)
 	for i := range r.ClusterFracs {
-		r.ClusterFracs[i] = d.f64("cluster fraction")
+		r.ClusterFracs[i] = d.F64("cluster fraction")
 	}
 	if d.err != nil {
 		return nil, nil, d.err
@@ -380,168 +328,47 @@ func decodeRunOutput(data []byte) (*RunOutput, []byte, error) {
 }
 
 func decodeResult(d *runDecoder, r *sim.Result) {
-	r.Design = d.str("result design")
-	r.Instructions = d.uvarint("result instructions")
+	r.Design = d.Str("result design")
+	r.Instructions = d.Uvarint("result instructions")
 	d.llcStats(&r.LLCStats)
-	if n := d.count("dram counter count", uint64(len(r.DRAM.Counts))); d.err == nil && n != len(r.DRAM.Counts) {
-		d.fail("dram counter count %d, codec has %d", n, len(r.DRAM.Counts))
+	if n := d.Count("dram counter count", uint64(len(r.DRAM.Counts))); d.err == nil && n != len(r.DRAM.Counts) {
+		d.Fail("dram counter count %d, codec has %d", n, len(r.DRAM.Counts))
 	}
 	for i := range r.DRAM.Counts {
-		r.DRAM.Counts[i] = d.uvarint("dram counter")
+		r.DRAM.Counts[i] = d.Uvarint("dram counter")
 	}
-	r.MPKI = d.f64("mpki")
-	r.IPC = d.f64("ipc")
-	r.Cycles = d.f64("cycles")
-	r.CompressionRatio = d.f64("compression ratio")
-	r.Occupancy = d.f64("occupancy")
-	r.AvgResidentLines = d.f64("avg resident lines")
-	r.Samples = int(d.uvarint("samples"))
+	r.MPKI = d.F64("mpki")
+	r.IPC = d.F64("ipc")
+	r.Cycles = d.F64("cycles")
+	r.CompressionRatio = d.F64("compression ratio")
+	r.Occupancy = d.F64("occupancy")
+	r.AvgResidentLines = d.F64("avg resident lines")
+	r.Samples = int(d.Uvarint("samples"))
 }
 
+// decodeStatsSnapshot reads the common fields and dispatches the Extra
+// tag to its scheme-registry codec.
 func decodeStatsSnapshot(d *runDecoder, s *llc.StatsSnapshot) {
-	s.Design = d.str("snapshot design")
+	s.Design = d.Str("snapshot design")
 	d.llcStats(&s.Stats)
 	if d.err != nil {
 		return
 	}
 	if len(d.data) < 1 {
-		d.fail("extra tag")
+		d.Fail("extra tag")
 		return
 	}
 	tag := d.data[0]
 	d.data = d.data[1:]
-	switch tag {
-	case extraNil:
-	case extraUncomp:
-		x := &uncomp.Snapshot{}
-		present := d.boolByte("uncomp lines presence")
-		n := d.count("uncomp line count", maxPool)
-		if d.err == nil && !present && n != 0 {
-			d.fail("absent uncomp lines with count %d", n)
-		}
-		if d.err == nil && uint64(len(d.data)) < uint64(n)*line.Size {
-			d.fail("truncated uncomp lines")
-		}
-		if d.err == nil && present {
-			x.Lines = make([]line.Line, n)
-			for i := range x.Lines {
-				copy(x.Lines[i][:], d.data[uint64(i)*line.Size:])
-			}
-			d.data = d.data[uint64(n)*line.Size:]
-		}
-		s.Extra = x
-	case extraBDI:
-		x := &bdicache.Snapshot{}
-		x.Extra.Insertions = d.uvarint("bdi insertions")
-		x.Extra.Compressed = d.uvarint("bdi compressed")
-		x.Extra.SpaceEvictions = d.uvarint("bdi space evictions")
-		present := d.boolByte("bdi bykind presence")
-		n := d.count("bdi kind count", 256)
-		if d.err == nil && !present && n != 0 {
-			d.fail("absent bdi histogram with %d kinds", n)
-		}
-		if present && d.err == nil {
-			x.Extra.ByKind = make(map[bdi.Kind]uint64, n)
-			prev := -1
-			for i := 0; i < n; i++ {
-				k := int(d.uvarint("bdi kind"))
-				c := d.uvarint("bdi kind count")
-				if d.err != nil {
-					return
-				}
-				// Strictly ascending kinds keep the encoding canonical
-				// (decode∘encode identity) and the map keys unique; the
-				// range bound is the Kind representation (uint8), not the
-				// current enum, so new kinds don't invalidate old files.
-				if k <= prev || k > 0xff {
-					d.fail("bdi kind %d out of order or range", k)
-					return
-				}
-				prev = k
-				x.Extra.ByKind[bdi.Kind(k)] = c
-			}
-		}
-		s.Extra = x
-	case extraDedup:
-		x := &dedupcache.Snapshot{}
-		x.Extra.Insertions = d.uvarint("dedup insertions")
-		x.Extra.Deduped = d.uvarint("dedup deduped")
-		x.Extra.FalseMatches = d.uvarint("dedup false matches")
-		x.Extra.ListEvictions = d.uvarint("dedup list evictions")
-		s.Extra = x
-	case extraThesaurus:
-		s.Extra = decodeThesaurusSnapshot(d)
-	default:
-		d.fail("unknown extra tag %d", tag)
+	if tag == extraNil {
+		return
 	}
-}
-
-func decodeThesaurusSnapshot(d *runDecoder) *thesaurus.Snapshot {
-	s := &thesaurus.Snapshot{}
-	c := &s.Cfg
-	c.TagEntries = int(d.uvarint("cfg tag entries"))
-	c.TagWays = int(d.uvarint("cfg tag ways"))
-	c.DataSets = int(d.uvarint("cfg data sets"))
-	c.SegmentsPerSet = int(d.uvarint("cfg segments per set"))
-	c.LSH = lsh.Config{
-		Bits:     int(d.uvarint("cfg lsh bits")),
-		NonZeros: int(d.uvarint("cfg lsh nonzeros")),
-		Seed:     d.uvarint("cfg lsh seed"),
+	c, ok := scheme.CodecByTag(tag)
+	if !ok {
+		d.Fail("unknown extra tag %d", tag)
+		return
 	}
-	c.BaseCacheSets = int(d.uvarint("cfg base sets"))
-	c.BaseCacheWays = int(d.uvarint("cfg base ways"))
-	c.VictimCandidates = int(d.uvarint("cfg victim candidates"))
-	c.Seed = d.uvarint("cfg seed")
-	c.DiffSeriesWindow = int(d.uvarint("cfg diff window"))
-	c.BaseCachePlainLRU = d.boolByte("cfg plain lru")
-	c.IntraLineFallback = d.boolByte("cfg intra fallback")
-	c.AdaptiveEpoch = int(d.uvarint("cfg adaptive epoch"))
-	c.WriteBufferDepth = int(d.uvarint("cfg write buffer depth"))
-
-	e := &s.Extra
-	e.Insertions = d.uvarint("extra insertions")
-	e.Reencodes = d.uvarint("extra reencodes")
-	e.Placements = d.uvarint("extra placements")
-	if n := d.count("format count", uint64(len(e.ByFormat))); d.err == nil && n != len(e.ByFormat) {
-		d.fail("format count %d, codec has %d", n, diffenc.NumFormats)
-	}
-	for i := range e.ByFormat {
-		e.ByFormat[i] = d.uvarint("format counter")
-	}
-	e.Compressible = d.uvarint("extra compressible")
-	e.RawDueToBaseMiss = d.uvarint("extra raw due to base miss")
-	e.DiffBytesSum = d.uvarint("extra diff bytes sum")
-	e.DiffCount = d.uvarint("extra diff count")
-	e.DataEvictions = d.uvarint("extra data evictions")
-
-	s.Adaptive.Epochs = d.uvarint("adaptive epochs")
-	s.Adaptive.DisabledEpochs = d.uvarint("adaptive disabled epochs")
-	s.Adaptive.DisabledPlacements = d.uvarint("adaptive disabled placements")
-
-	present := d.boolByte("diff series presence")
-	n := d.count("diff series length", maxEvents)
-	if d.err == nil && !present && n != 0 {
-		d.fail("absent diff series with length %d", n)
-	}
-	if d.err == nil && uint64(len(d.data)) < uint64(n)*8 {
-		d.fail("truncated diff series")
-	}
-	if present && d.err == nil {
-		s.DiffSeries = make([]float64, n)
-		for i := range s.DiffSeries {
-			s.DiffSeries[i] = d.f64("diff series sample")
-		}
-	}
-
-	s.BaseCache = thesaurus.BaseCacheSnapshot{
-		ReadPath:     stats.Counter{Hits: d.uvarint("base read hits"), Total: d.uvarint("base read total")},
-		InsertPath:   stats.Counter{Hits: d.uvarint("base insert hits"), Total: d.uvarint("base insert total")},
-		Entries:      int(d.uvarint("base entries")),
-		StorageBytes: int(d.uvarint("base storage bytes")),
-	}
-	s.LiveClusters = int(d.uvarint("live clusters"))
-	s.ValidClusters = int(d.uvarint("valid clusters"))
-	return s
+	s.Extra = c.Decode(d)
 }
 
 // RunOutputEqual deep-compares two run outputs (the -cache-verify path
@@ -571,58 +398,22 @@ func resultEqual(a, b *sim.Result) bool {
 		a.Samples == b.Samples
 }
 
+// snapshotEqual deep-compares two snapshots via the Extras' shared
+// scheme codec; Extras of different codecs (or of no registered codec)
+// never compare equal.
 func snapshotEqual(a, b *llc.StatsSnapshot) bool {
 	if a.Design != b.Design || a.Stats != b.Stats {
 		return false
 	}
-	switch x := a.Extra.(type) {
-	case nil:
-		return b.Extra == nil
-	case *uncomp.Snapshot:
-		y, ok := b.Extra.(*uncomp.Snapshot)
-		if !ok || (x.Lines == nil) != (y.Lines == nil) || len(x.Lines) != len(y.Lines) {
-			return false
-		}
-		for i := range x.Lines {
-			if x.Lines[i] != y.Lines[i] {
-				return false
-			}
-		}
-		return true
-	case *bdicache.Snapshot:
-		y, ok := b.Extra.(*bdicache.Snapshot)
-		if !ok || x.Extra.Insertions != y.Extra.Insertions ||
-			x.Extra.Compressed != y.Extra.Compressed ||
-			x.Extra.SpaceEvictions != y.Extra.SpaceEvictions ||
-			(x.Extra.ByKind == nil) != (y.Extra.ByKind == nil) ||
-			len(x.Extra.ByKind) != len(y.Extra.ByKind) {
-			return false
-		}
-		for k, v := range x.Extra.ByKind {
-			if y.Extra.ByKind[k] != v {
-				return false
-			}
-		}
-		return true
-	case *dedupcache.Snapshot:
-		y, ok := b.Extra.(*dedupcache.Snapshot)
-		return ok && x.Extra == y.Extra
-	case *thesaurus.Snapshot:
-		y, ok := b.Extra.(*thesaurus.Snapshot)
-		if !ok || x.Cfg != y.Cfg || x.Extra != y.Extra || x.Adaptive != y.Adaptive ||
-			x.BaseCache != y.BaseCache || x.LiveClusters != y.LiveClusters ||
-			x.ValidClusters != y.ValidClusters ||
-			(x.DiffSeries == nil) != (y.DiffSeries == nil) ||
-			len(x.DiffSeries) != len(y.DiffSeries) {
-			return false
-		}
-		for i := range x.DiffSeries {
-			if math.Float64bits(x.DiffSeries[i]) != math.Float64bits(y.DiffSeries[i]) {
-				return false
-			}
-		}
-		return true
-	default:
+	if a.Extra == nil || b.Extra == nil {
+		return a.Extra == nil && b.Extra == nil
+	}
+	ca, ok := scheme.CodecFor(a.Extra)
+	if !ok {
 		return false
 	}
+	if cb, ok := scheme.CodecFor(b.Extra); !ok || cb != ca {
+		return false
+	}
+	return ca.Equal(a.Extra, b.Extra)
 }

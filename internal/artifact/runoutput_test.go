@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/bdi"
 	"repro/internal/bdicache"
+	"repro/internal/cpack"
 	"repro/internal/dedupcache"
+	"repro/internal/dish"
 	"repro/internal/line"
 	"repro/internal/llc"
 	"repro/internal/sim"
@@ -24,8 +26,8 @@ import (
 )
 
 // synthRunOutput builds a run snapshot with every field populated and the
-// Extra union varied by seed, so the round-trip tests cover all five
-// design arms including nil-vs-empty slice and map edge shapes.
+// Extra union varied by seed, so the round-trip tests cover every
+// registered codec arm including nil-vs-empty slice and map edge shapes.
 func synthRunOutput(seed uint64) *RunOutput {
 	rng := xrand.New(seed)
 	r := &RunOutput{
@@ -54,7 +56,7 @@ func synthRunOutput(seed uint64) *RunOutput {
 	for i := range r.Res.DRAM.Counts {
 		r.Res.DRAM.Counts[i] = rng.Uint64n(1 << 30)
 	}
-	switch seed % 6 {
+	switch seed % 8 {
 	case 0: // nil extra (Ideal)
 	case 1:
 		lines := make([]line.Line, rng.Intn(64))
@@ -113,6 +115,23 @@ func synthRunOutput(seed uint64) *RunOutput {
 			}
 		}
 		r.Snap.Extra = x
+	case 6:
+		x := &cpack.Snapshot{Extra: cpack.ExtraStats{
+			Insertions: rng.Uint64n(1 << 30), Compressed: rng.Uint64n(1 << 29),
+			SpaceEvictions: rng.Uint64n(1 << 20),
+		}}
+		for i := range x.Extra.ByPattern {
+			x.Extra.ByPattern[i] = rng.Uint64n(1 << 28)
+		}
+		r.Snap.Extra = x
+	case 7:
+		r.Snap.Extra = &dish.Snapshot{Extra: dish.ExtraStats{
+			Insertions:   rng.Uint64n(1 << 30),
+			Scheme1Fills: rng.Uint64n(1 << 29), Scheme2Fills: rng.Uint64n(1 << 29),
+			UncompressedFills: rng.Uint64n(1 << 28),
+			OTFSelections:     rng.Uint64n(1 << 20),
+			SpaceEvictions:    rng.Uint64n(1 << 20),
+		}}
 	}
 	return r
 }
@@ -255,6 +274,12 @@ func TestRunOutputKeySensitivity(t *testing.T) {
 	}
 	perturb := map[string]string{}
 	perturb["design"] = RunOutputKey(p, sys, "BDI", 1000, replay, true, &cfg)
+	// The new registered designs carry their own 'C' config-key fragments;
+	// none may collide with each other or any other perturbation.
+	perturb["design-cpack"] = RunOutputKey(p, sys, "CPack", 1000, replay, true, &cfg)
+	perturb["design-dish"] = RunOutputKey(p, sys, "DISH", 1000, replay, true, &cfg)
+	perturb["design-baseline"] = RunOutputKey(p, sys, "Baseline", 1000, replay, true, &cfg)
+	perturb["design-2x"] = RunOutputKey(p, sys, "2x Baseline", 1000, replay, true, &cfg)
 	perturb["accesses"] = RunOutputKey(p, sys, "Thesaurus", 1001, replay, true, &cfg)
 	perturb["sample"] = RunOutputKey(p, sys, "Thesaurus", 1000, replay, false, &cfg)
 	r2 := replay
@@ -365,10 +390,10 @@ func TestCacheConcurrentLoadOrRunOutput(t *testing.T) {
 // input must re-encode byte-identically with an equal decoded value.
 func FuzzRunOutputCodecRoundtrip(f *testing.F) {
 	f.Add([]byte{})
-	for seed := uint64(0); seed < 6; seed++ {
+	for seed := uint64(0); seed < 8; seed++ {
 		f.Add(Encode(nil, &File{Run: synthRunOutput(seed)}))
 	}
-	f.Add(Encode(nil, &File{Recorded: synthRecorded(1, 12), Run: synthRunOutput(6)}))
+	f.Add(Encode(nil, &File{Recorded: synthRecorded(1, 12), Run: synthRunOutput(8)}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := Decode(data)
 		if err != nil {

@@ -1,0 +1,229 @@
+package dish
+
+import (
+	"testing"
+
+	"repro/internal/line"
+	"repro/internal/memory"
+	"repro/internal/xrand"
+)
+
+func smallConfig() Config {
+	return Config{Sets: 8, TagWays: 16, DataWays: 8}
+}
+
+// cpackFriendly builds a line from a three-word 32-bit vocabulary: the
+// C-Pack dictionary captures it (3 literals, 13 full matches) while the
+// 64-bit words jump around too much for any BΔI base+delta class.
+func cpackFriendly() line.Line {
+	vocab := [3]uint32{0x9e3779b9, 0x517cc1b7, 0x2545f491}
+	var l line.Line
+	for i := 0; i < line.WordsPerLine; i++ {
+		hi, lo := vocab[i%3], vocab[(i*2+1)%3]
+		l.SetWord(i, uint64(hi)<<32|uint64(lo))
+	}
+	return l
+}
+
+// incompressible builds a line neither scheme can beat raw storage on.
+func incompressible(rng *xrand.Rand) line.Line {
+	var l line.Line
+	for j := 0; j < line.WordsPerLine; j++ {
+		l.SetWord(j, rng.Uint64()|0x0101010101010101)
+	}
+	return l
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Sets: 0, TagWays: 16, DataWays: 8},
+		{Sets: 8, TagWays: 0, DataWays: 8},
+		{Sets: 8, TagWays: 12, DataWays: 8}, // not a power of two
+		{Sets: 8, TagWays: 16, DataWays: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("bad config %+v accepted", bad)
+		}
+	}
+}
+
+// TestChooseDefaultAndOTF pins the selection policy: the majority-vote
+// default is tried first, the other scheme is an on-the-fly fallback,
+// and raw storage is the last resort.
+func TestChooseDefaultAndOTF(t *testing.T) {
+	c := MustNew(smallConfig(), memory.NewStore())
+
+	// Cold cache: the tie favors scheme1 (C-Pack), and a compressible
+	// line sticks with the default — no OTF event.
+	friendly := cpackFriendly()
+	if s, segs := c.choose(&friendly); s != scheme1 || segs >= rawSegs {
+		t.Fatalf("cold choose: scheme %d segs %d, want scheme1 compressed", s, segs)
+	}
+	if c.extra.OTFSelections != 0 {
+		t.Fatalf("OTF fired for a default-scheme win")
+	}
+
+	// Force a scheme2 (BΔI) majority: the same line now fails the
+	// default and must switch on the fly back to C-Pack.
+	c.numScheme2 = 5
+	if s, segs := c.choose(&friendly); s != scheme1 || segs >= rawSegs {
+		t.Fatalf("OTF choose: scheme %d segs %d, want scheme1 compressed", s, segs)
+	}
+	if c.extra.OTFSelections != 1 {
+		t.Fatalf("OTFSelections = %d, want 1", c.extra.OTFSelections)
+	}
+
+	// Neither scheme compresses high-entropy content: raw fallback.
+	rnd := incompressible(xrand.New(11))
+	if s, segs := c.choose(&rnd); s != schemeRaw || segs != rawSegs {
+		t.Fatalf("raw choose: scheme %d segs %d, want raw %d", s, segs, rawSegs)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	rng := xrand.New(1)
+	ref := map[line.Addr]line.Line{}
+	for i := 0; i < 8000; i++ {
+		addr := line.Addr(rng.Intn(256)) * line.Size
+		if rng.Bool(0.4) {
+			var l line.Line
+			switch rng.Intn(4) {
+			case 0:
+				l = cpackFriendly()
+				l.SetWord(0, rng.Uint64()) // perturb so contents differ
+			case 1:
+				l = incompressible(rng)
+			case 2: // base + small delta: BΔI territory
+				base := rng.Uint64()
+				for j := 0; j < line.WordsPerLine; j++ {
+					l.SetWord(j, base+uint64(rng.Intn(128)))
+				}
+			case 3: // zero-ish
+			}
+			c.Write(addr, l)
+			ref[addr] = l
+			mem.Poke(addr, l)
+		} else {
+			got, _ := c.Read(addr)
+			want, ok := ref[addr]
+			if !ok {
+				want = mem.Peek(addr)
+			}
+			if got != want {
+				t.Fatalf("step %d: wrong data", i)
+			}
+		}
+		if i%1000 == 0 {
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubledTagsExploitCompression: compressible content lets more lines
+// reside than the data ways alone would admit.
+func TestDoubledTagsExploitCompression(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(Config{Sets: 1, TagWays: 16, DataWays: 8}, mem)
+	for i := 0; i < 14; i++ {
+		var l line.Line
+		l.SetWord(0, uint64(i)) // near-zero content: compresses hard
+		c.Write(line.Addr(i)*line.Size, l)
+	}
+	fp := c.Footprint()
+	if fp.ResidentLines <= 8 {
+		t.Fatalf("only %d residents; doubled tags unused", fp.ResidentLines)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpaceEvictions: refilling a full set with incompressible content
+// must force space evictions beyond the tag victim.
+func TestSpaceEvictions(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(Config{Sets: 1, TagWays: 16, DataWays: 8}, mem)
+	rng := xrand.New(3)
+	for i := 0; i < 32; i++ {
+		l := incompressible(rng)
+		c.Write(line.Addr(i)*line.Size, l)
+	}
+	if c.Extra().SpaceEvictions == 0 {
+		t.Fatal("no space evictions under incompressible refill")
+	}
+	if c.Extra().UncompressedFills == 0 {
+		t.Fatal("incompressible lines should fill raw")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResetStatsKeepsMajority: ResetStats clears event counters but the
+// majority-vote state describes residents and must survive.
+func TestResetStatsKeepsMajority(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	for i := 0; i < 8; i++ {
+		l := cpackFriendly()
+		c.Write(line.Addr(i)*line.Size, l)
+	}
+	if c.numScheme1 == 0 {
+		t.Fatal("no scheme1 residents after compressible fills")
+	}
+	before := c.numScheme1
+	c.ResetStats()
+	if c.extra != (ExtraStats{}) {
+		t.Fatalf("extra stats not cleared: %+v", c.extra)
+	}
+	if c.numScheme1 != before {
+		t.Fatalf("majority counter reset: %d, want %d", c.numScheme1, before)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotRelease(t *testing.T) {
+	mem := memory.NewStore()
+	c := MustNew(smallConfig(), mem)
+	var l line.Line
+	l.SetWord(0, 42)
+	c.Write(0, l)
+	snap := c.Release()
+	if snap.Design != "DISH" {
+		t.Fatalf("design %q", snap.Design)
+	}
+	x, ok := snap.Extra.(*Snapshot)
+	if !ok || x.Extra.Insertions != 1 {
+		t.Fatalf("bad extra snapshot %+v", snap.Extra)
+	}
+	cp := x.Clone().(*Snapshot)
+	cp.Extra.Insertions = 99
+	if x.Extra.Insertions != 1 {
+		t.Fatal("Clone shares state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic")
+		}
+	}()
+	c.Release()
+}
+
+func TestDecompressionCycles(t *testing.T) {
+	c := MustNew(smallConfig(), memory.NewStore())
+	if c.DecompressionCycles() <= 1 {
+		t.Fatal("DISH decompression should cost more than a single cycle")
+	}
+}

@@ -223,9 +223,22 @@ type Fig20Row struct {
 	AvgHitRates map[string]float64
 }
 
-// Fig20Result: base-cache size sweep.
+// Fig20DesignCR is one registered design's geomean compression ratio at
+// its default configuration.
+type Fig20DesignCR struct {
+	Design    string
+	GeomeanCR float64
+}
+
+// Fig20Result: base-cache size sweep, plus the per-design compression
+// companion table covering every registered scheme.
 type Fig20Result struct {
 	Rows []Fig20Row
+	// DesignCRs lists every registered design in report order; the runs
+	// are the same design × profile points as fig13, so a warm artifact
+	// cache (or a fig13 run in the same process) satisfies them without
+	// new simulation.
+	DesignCRs []Fig20DesignCR
 }
 
 // Fig20 sweeps the base-cache size from 32 to 2048 entries and reports
@@ -278,6 +291,27 @@ func Fig20(opt Options) (*Fig20Result, error) {
 		row.GeomeanCR = geomean(crs)
 		res.Rows = append(res.Rows, row)
 	}
+
+	// Companion table: geomean CR per registered design at defaults —
+	// the same run keys as fig13, so results memoize across figures.
+	profiles := opt.profiles()
+	var keys []harness.RunKey
+	for _, design := range harness.Designs {
+		for _, prof := range profiles {
+			keys = append(keys, harness.RunKey{Profile: prof, Design: design})
+		}
+	}
+	matrix, err := harness.RunMatrix(keys, opt.run())
+	if err != nil {
+		return nil, err
+	}
+	for _, design := range harness.Designs {
+		var crs []float64
+		for _, prof := range profiles {
+			crs = append(crs, matrix[harness.RunKey{Profile: prof, Design: design}].Res.CompressionRatio)
+		}
+		res.DesignCRs = append(res.DesignCRs, Fig20DesignCR{Design: design, GeomeanCR: geomean(crs)})
+	}
 	return res, nil
 }
 
@@ -289,5 +323,10 @@ func (r *Fig20Result) Report() string {
 		t.AddRowf(fmt.Sprintf("%d", row.Entries), fmt.Sprintf("%.1f%%", 100*row.HitRate),
 			fmt.Sprintf("%.0f", row.StorageKB), fmt.Sprintf("%.2fx", row.GeomeanCR))
 	}
-	return t.String()
+	td := report.NewTable("Figure 20 companion: geomean compression ratio per design (defaults)",
+		"design", "geomean CR")
+	for _, d := range r.DesignCRs {
+		td.AddRowf(d.Design, fmt.Sprintf("%.2fx", d.GeomeanCR))
+	}
+	return t.String() + td.String()
 }

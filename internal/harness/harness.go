@@ -10,45 +10,31 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/bdicache"
-	"repro/internal/dedupcache"
-	"repro/internal/ideal"
 	"repro/internal/llc"
 	"repro/internal/memory"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/thesaurus"
 	"repro/internal/uncomp"
 )
 
-// Design names accepted by BuildLLC, in report order.
-var Designs = []string{"Baseline", "Dedup", "BDI", "Thesaurus", "Ideal", "2x Baseline"}
+// Designs are the design names accepted by BuildLLC, in report order —
+// the scheme registry's registration order, so experiment tables emit
+// one column per registered scheme and newly registered schemes append
+// columns without disturbing existing ones.
+var Designs = scheme.Names()
 
 // BuildLLC constructs the named LLC design over a fresh backing store and
-// returns both. All compressed designs are sized iso-silicon with the 1MB
-// baseline (Table 2).
+// returns both, delegating to the scheme registry. All compressed designs
+// are sized iso-silicon with the 1MB baseline (Table 2) by their
+// registered default configurations.
 func BuildLLC(design string) (llc.Cache, *memory.Store, error) {
 	mem := memory.NewStore()
-	switch design {
-	case "Baseline":
-		return uncomp.New("Baseline", uncomp.DefaultConfig(), mem), mem, nil
-	case "2x Baseline":
-		cfg := uncomp.DefaultConfig()
-		cfg.SizeBytes *= 2
-		return uncomp.New("2x Baseline", cfg, mem), mem, nil
-	case "BDI":
-		c, err := bdicache.New(bdicache.DefaultConfig(), mem)
-		return c, mem, err
-	case "Dedup":
-		c, err := dedupcache.New(dedupcache.DefaultConfig(), mem)
-		return c, mem, err
-	case "Thesaurus":
-		c, err := thesaurus.New(thesaurus.DefaultConfig(), mem)
-		return c, mem, err
-	case "Ideal":
-		return ideal.New(ideal.DefaultConfig(), mem), mem, nil
-	default:
-		return nil, nil, fmt.Errorf("harness: unknown design %q", design)
+	c, err := scheme.Build(design, mem)
+	if err != nil {
+		return nil, nil, err
 	}
+	return c, mem, nil
 }
 
 // DefaultAccesses is the trace length for full experiment runs; tests and

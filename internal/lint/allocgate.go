@@ -119,22 +119,20 @@ func (u *allocUnit) declIndex() map[types.Object]*ast.FuncDecl {
 	return u.decls
 }
 
-// funcBindings maps variable objects to the functions assigned to them
-// anywhere in the unit, flow-insensitively and in source order. It is the
-// callee set for calls through function values: an over-approximation
-// (every binding counts, whichever one is live), which is the sound
-// direction for an allocation gate.
+// funcBindings maps variable objects — locals, package-level vars, and
+// struct fields — to the functions assigned to them anywhere in the
+// unit, flow-insensitively and in source order. Struct fields are keyed
+// by the field's *types.Var, so every instance of a type shares one
+// binding set (an assignment through any value of the type counts for
+// all of them). It is the callee set for calls through function values:
+// an over-approximation (every binding counts, whichever one is live),
+// which is the sound direction for an allocation gate.
 func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 	if u.bindings != nil {
 		return u.bindings
 	}
 	u.bindings = map[types.Object][]*types.Func{}
-	bind := func(lhs, rhs ast.Expr) {
-		id, ok := ast.Unparen(lhs).(*ast.Ident)
-		if !ok || id.Name == "_" {
-			return
-		}
-		obj := objectOf(u.info, id)
+	bindObj := func(obj types.Object, rhs ast.Expr) {
 		if _, ok := obj.(*types.Var); !ok {
 			return
 		}
@@ -148,6 +146,17 @@ func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 			}
 		}
 		u.bindings[obj] = append(u.bindings[obj], fn)
+	}
+	bind := func(lhs, rhs ast.Expr) {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if x.Name != "_" {
+				bindObj(objectOf(u.info, x), rhs)
+			}
+		case *ast.SelectorExpr:
+			// Field assignment (s.fn = ...): key on the field object.
+			bindObj(objectOf(u.info, x.Sel), rhs)
+		}
 	}
 	for _, f := range u.files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -164,11 +173,44 @@ func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 						bind(x.Names[i], x.Values[i])
 					}
 				}
+			case *ast.CompositeLit:
+				// Struct literals bind fields too: T{fn: f} keys on the
+				// field object (recorded in Uses for keyed literals),
+				// positional T{f} resolves the field by index.
+				st, ok := structTypeOf(u.info, x)
+				if !ok {
+					return true
+				}
+				for i, elt := range x.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							bindObj(objectOf(u.info, key), kv.Value)
+						}
+						continue
+					}
+					if i < st.NumFields() {
+						bindObj(st.Field(i), elt)
+					}
+				}
 			}
 			return true
 		})
 	}
 	return u.bindings
+}
+
+// structTypeOf resolves a composite literal's type to its struct
+// underlying, through pointers and named types.
+func structTypeOf(info *types.Info, lit *ast.CompositeLit) (*types.Struct, bool) {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil, false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
 }
 
 // funcDenoted resolves an expression that names a function — an ident or
@@ -481,15 +523,19 @@ func (w *allocWalker) checkCall(u *allocUnit, call *ast.CallExpr, stack []ast.No
 }
 
 // boundCallees resolves a call through a function value to the functions
-// assigned to the called identifier anywhere in the unit. Only idents
-// (locals and package-level vars) are tracked; function values carried
-// through struct fields fall to the escape budget.
+// assigned to the called identifier — or, for a call through a struct
+// field (s.fn(...)), to the functions bound to that field anywhere in
+// the unit, by assignment or composite literal.
 func (w *allocWalker) boundCallees(u *allocUnit, fun ast.Expr) []*types.Func {
-	id, ok := ast.Unparen(fun).(*ast.Ident)
-	if !ok {
+	var obj types.Object
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		obj = objectOf(u.info, x)
+	case *ast.SelectorExpr:
+		obj = objectOf(u.info, x.Sel)
+	default:
 		return nil
 	}
-	obj := objectOf(u.info, id)
 	if _, ok := obj.(*types.Var); !ok {
 		return nil
 	}

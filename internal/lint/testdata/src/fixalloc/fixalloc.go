@@ -267,3 +267,45 @@ func viaDeniedValue(n int) string {
 	format := fmt.Sprintf
 	return format("%d", n)
 }
+
+// hooks carries function values in struct fields. Bindings key on the
+// field object, so an assignment or composite literal anywhere in the
+// unit counts for every instance of the type.
+type hooks struct {
+	fn   func(int) int
+	deny func(string, ...any) string
+}
+
+// literalAlloc is reached only through composite-literal field bindings
+// (allocgate: make inside, found from the keyed pkgHooks literal and the
+// positional literal in viaPositionalField).
+func literalAlloc(n int) int {
+	buf := make([]int, n)
+	return len(buf)
+}
+
+// The package-level keyed literal binds literalAlloc to the fn field.
+var pkgHooks = hooks{fn: literalAlloc}
+
+// Calls through struct fields follow every function bound to the field —
+// here passthrough (assignment below) and valueAlloc (the pkgHooks
+// literal). The denylisted fmt.Sprintf carried through the deny field is
+// flagged at the call site (allocgate: fmt.Sprintf via field).
+//
+//thesaurus:hotpath
+func viaFieldValue(n int) int {
+	h := hooks{}
+	h.fn = passthrough
+	h.deny = fmt.Sprintf
+	_ = h.deny("%d", n)
+	return h.fn(n) + pkgHooks.fn(n)
+}
+
+// Positional struct literals bind fields by index: the h.fn call below
+// resolves literalAlloc through the unkeyed literal.
+//
+//thesaurus:hotpath
+func viaPositionalField(n int) int {
+	h := hooks{literalAlloc, nil}
+	return h.fn(n)
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -302,5 +303,81 @@ func TestReplayWithDRAMModel(t *testing.T) {
 	}
 	if modelled.IPC == flat.IPC {
 		t.Fatal("DRAM model had no timing effect")
+	}
+}
+
+// TestShardedWarmupBoundaries: Replay and ReplaySharded each compute the
+// warmup index from WarmupFraction independently (replay.go and
+// sharded.go carry a copy of the same formula), so a drift in either
+// copy silently breaks the byte-identity contract. This property test
+// pins field-for-field agreement — metrics, sample counts, and the full
+// release snapshot — at the degenerate extremes (warmup == 0, warmup ==
+// len(events)) and at off-by-one sample-schedule boundaries around the
+// last sample instant.
+func TestShardedWarmupBoundaries(t *testing.T) {
+	img := memory.NewStore()
+	accesses := synthTrace(9, 60000, 4096, img)
+	sys := tinySystem()
+	rec := Record(trace.NewSliceSource(accesses), sys, img)
+	e := len(rec.Events)
+	const sampleEvery = 64
+	if e < 4*sampleEvery {
+		t.Fatalf("trace too filtered for boundary cases: %d events", e)
+	}
+	cfg := uncomp.Config{SizeBytes: 64 << 10, Ways: 8, Policy: "plru"}
+
+	// fracFor yields a WarmupFraction that truncates to exactly w:
+	// (w+0.5)/e × e is within half an event of w+0.5, so int() floors it
+	// to w for every e this trace produces.
+	fracFor := func(w int) float64 { return (float64(w) + 0.5) / float64(e) }
+	fracs := []float64{
+		0,          // warmup == 0: reset fires on the first event
+		1,          // warmup == len(events): empty measurement window
+		fracFor(1), // reset one event in
+		fracFor(e - 1),
+		// Around one SampleEvery stride before the end: the number of
+		// post-warmup sample instants changes by one across these.
+		fracFor(e - sampleEvery - 1),
+		fracFor(e - sampleEvery),
+		fracFor(e - sampleEvery + 1),
+	}
+	for _, frac := range fracs {
+		warmup := int(frac * float64(e))
+		opt := ReplayOptions{WarmupFraction: frac, SampleEvery: sampleEvery, Verify: true}
+
+		st := memory.NewStore()
+		c := uncomp.New("Baseline", cfg, st)
+		want, err := Replay(c, rec, st, sys, opt)
+		if err != nil {
+			t.Fatalf("warmup=%d: serial: %v", warmup, err)
+		}
+		wantSnap := c.Release()
+		st.Release()
+
+		for _, n := range []int{2, 3} {
+			shards := make([]llc.Cache, n)
+			stores := make([]*memory.Store, n)
+			ucs := make([]*uncomp.Cache, n)
+			for i := range shards {
+				stores[i] = memory.NewStore()
+				ucs[i] = uncomp.New("Baseline", cfg, stores[i])
+				shards[i] = ucs[i]
+			}
+			got, err := ReplaySharded(shards, stores, rec, sys, opt)
+			if err != nil {
+				t.Fatalf("warmup=%d shards=%d: %v", warmup, n, err)
+			}
+			gotSnap := uncomp.MergeRelease(ucs)
+			for _, s := range stores {
+				s.Release()
+			}
+			if got != want {
+				t.Errorf("warmup=%d/%d shards=%d: result diverged\n got %+v\nwant %+v",
+					warmup, e, n, got, want)
+			}
+			if !reflect.DeepEqual(gotSnap, wantSnap) {
+				t.Errorf("warmup=%d/%d shards=%d: release snapshot diverged", warmup, e, n)
+			}
+		}
 	}
 }

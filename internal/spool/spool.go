@@ -11,10 +11,15 @@
 //
 // rename(2) is atomic within a directory, so exactly one claimant wins
 // each task; the losers see ENOENT and move to the next candidate. A
-// crashed worker leaves its .work file behind — the coordinator treats
-// anything not .done as "compute it myself", so a lost task costs only
-// the redundant work, never correctness (the run-level artifact cache is
-// the actual result channel; the queue only partitions the work).
+// crashed worker leaves its .work file behind; once the claim is older
+// than a staleness deadline, Reclaim renames it back to .json so live
+// workers pick the task up instead of starving on a drained queue (Claim
+// stamps each won .work file's mtime, so the deadline measures time
+// since the claim, not since the coordinator wrote the task). The
+// coordinator still treats anything not .done as "compute it myself", so
+// even an unreclaimed lost task costs only the redundant work, never
+// correctness (the run-level artifact cache is the actual result
+// channel; the queue only partitions the work).
 package spool
 
 import (
@@ -23,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Task is one design × profile cell of a campaign matrix, carrying every
@@ -83,6 +89,13 @@ func Claim(dir string) (t Task, ok bool, err error) {
 		if os.Rename(filepath.Join(dir, name), filepath.Join(dir, claimed)) != nil {
 			continue // another worker won this one
 		}
+		// rename preserves the task file's mtime, which dates from the
+		// coordinator's Write. Stamp the claim time so Reclaim's staleness
+		// deadline starts now; if the stamp fails the claim still holds,
+		// the task is merely eligible for reclamation early (rerun safety
+		// comes from the artifact cache, not from claim exclusivity).
+		now := time.Now()
+		_ = os.Chtimes(filepath.Join(dir, claimed), now, now)
 		data, rerr := os.ReadFile(filepath.Join(dir, claimed))
 		if rerr == nil {
 			rerr = json.Unmarshal(data, &t)
@@ -95,6 +108,37 @@ func Claim(dir string) (t Task, ok bool, err error) {
 		return t, true, nil
 	}
 	return Task{}, false, nil
+}
+
+// Reclaim returns abandoned claims to the queue: any .work file whose
+// mtime (stamped at claim time) is older than olderThan renames back to
+// .json, making the task claimable again. It returns how many tasks were
+// reclaimed. Racing a still-live worker is harmless — the worst case is
+// one redundant run, deduplicated by the artifact cache's cross-process
+// singleflight — but olderThan should comfortably exceed one task's
+// runtime so reclamation stays an exception, not a steady state.
+func Reclaim(dir string, olderThan time.Duration) (int, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("spool: reclaim: %w", err)
+	}
+	cutoff := time.Now().Add(-olderThan)
+	reclaimed := 0
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasPrefix(name, "task-") || !strings.HasSuffix(name, ".work") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue // fresh claim (or already gone): leave it alone
+		}
+		pending := strings.TrimSuffix(name, ".work") + ".json"
+		if os.Rename(filepath.Join(dir, name), filepath.Join(dir, pending)) == nil {
+			reclaimed++
+		}
+	}
+	return reclaimed, nil
 }
 
 // Finish marks a claimed task completed (taskErr nil) or failed. The

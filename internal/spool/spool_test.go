@@ -2,9 +2,12 @@ package spool
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 func mkTasks(n int) []Task {
@@ -129,5 +132,91 @@ func TestAbandonedClaimStaysWorking(t *testing.T) {
 	}
 	if p.Working != 1 || p.Done != 0 || p.Pending != 0 {
 		t.Fatalf("Scan after abandoned claim = %+v", p)
+	}
+}
+
+// Claim must re-stamp the won .work file's mtime: rename(2) preserves the
+// task file's timestamp, which dates from the coordinator's Write, and a
+// claim that looks as old as the queue itself would be reclaimed the
+// moment any peer sweeps.
+func TestClaimStampsWorkFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, mkTasks(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate the pending task as if the coordinator wrote it long ago.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(taskPath(dir, 0, ".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := Claim(dir); err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+	info, err := os.Stat(taskPath(dir, 0, ".work"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(info.ModTime()) > time.Minute {
+		t.Fatalf("claim not stamped: .work mtime %v", info.ModTime())
+	}
+}
+
+// Crash injection: a worker claims a task and dies without finishing it.
+// After the staleness deadline a surviving worker's Reclaim returns the
+// task to the queue and it can be claimed again; fresh claims held by
+// live workers are left alone.
+func TestReclaimAbandonedClaim(t *testing.T) {
+	dir := t.TempDir()
+	if err := Write(dir, mkTasks(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Worker A claims task 0 and crashes (no Finish). Simulate the time
+	// passing by backdating its claim stamp.
+	dead, ok, err := Claim(dir)
+	if err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+	old := time.Now().Add(-10 * time.Minute)
+	if err := os.Chtimes(taskPath(dir, dead.ID, ".work"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Worker B holds a fresh claim on task 1.
+	live, ok, err := Claim(dir)
+	if err != nil || !ok {
+		t.Fatalf("Claim = %v, %v", ok, err)
+	}
+
+	n, err := Reclaim(dir, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Reclaim = %d, want 1 (only the stale claim)", n)
+	}
+	p, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != (Progress{Pending: 1, Working: 1}) {
+		t.Fatalf("Scan after reclaim = %+v", p)
+	}
+	// The reclaimed task is claimable again, with its payload intact.
+	got, ok, err := Claim(dir)
+	if err != nil || !ok {
+		t.Fatalf("re-Claim = %v, %v", ok, err)
+	}
+	if got != dead {
+		t.Fatalf("reclaimed task %+v, want %+v", got, dead)
+	}
+	// Both claims are now fresh: a second sweep reclaims nothing.
+	if n, err := Reclaim(dir, time.Minute); err != nil || n != 0 {
+		t.Fatalf("second Reclaim = %d, %v, want 0 reclaimed", n, err)
+	}
+	if err := Finish(dir, live.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the finished marker is terminal and untouched by Reclaim.
+	if _, err := os.Stat(filepath.Join(dir, "task-00001.done")); err != nil {
+		t.Fatal(err)
 	}
 }
