@@ -89,10 +89,14 @@ fuzz:
 # The artifact cache is an accelerator, never an input: campaign reports
 # must be byte-identical whether the cache is off, cold, or warm, with
 # the run-level layer on or off, serial, parallel, or distributed across
-# worker processes (docs/performance.md). The per-experiment wall-clock
-# lines are the only legitimate difference in text mode and are filtered
-# before comparison; artifact stats go to stderr and never touch the
-# reports. The cold-vs-warm timing at the end enforces the run-level
+# worker processes (docs/performance.md) — including over the netq TCP
+# transport (docs/distribution.md), both with a shared cache dir
+# (key-only completions) and with private per-worker dirs (artifact
+# streaming), and even when a worker is killed -9 mid-campaign (its
+# leases requeue and the survivor finishes). The per-experiment
+# wall-clock lines are the only legitimate difference in text mode and
+# are filtered before comparison; artifact stats go to stderr and never
+# touch the reports. The cold-vs-warm timing at the end enforces the run-level
 # cache's reason to exist: a warm quick-campaign rerun must be >=5x
 # faster than the cold run (it is pure artifact decode, so the margin is
 # ordinarily far larger).
@@ -123,17 +127,35 @@ cache-identity:
 		2>/dev/null | sed '/completed in/d' >$$tmp/dist.txt; \
 	$$tmp/thesaurus -json -distribute 2 -cache-dir $$tmp/dcache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
 		2>/dev/null >$$tmp/dist.json; \
+	echo "cache-identity: netq loopback (-serve + 2 workers, shared cache dir), fresh cache"; \
+	$$tmp/thesaurus -serve 127.0.0.1:0 -addr-file $$tmp/addr1 -distribute 2 \
+		-cache-dir $$tmp/ncache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/netq.txt; \
+	$$tmp/thesaurus -json -serve 127.0.0.1:0 -addr-file $$tmp/addr1 -distribute 2 \
+		-cache-dir $$tmp/ncache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null >$$tmp/netq.json; \
+	echo "cache-identity: netq streaming (workers with private cache dirs), one worker killed mid-campaign"; \
+	$$tmp/thesaurus -worker -connect @$$tmp/addr2 -cache-dir $$tmp/w1cache 2>/dev/null & w1=$$!; \
+	$$tmp/thesaurus -worker -connect @$$tmp/addr2 -cache-dir $$tmp/w2cache 2>/dev/null & w2=$$!; \
+	( sleep 3; kill -9 $$w2 2>/dev/null ) & killer=$$!; \
+	$$tmp/thesaurus -serve 127.0.0.1:0 -addr-file $$tmp/addr2 -lease 5s -serve-grace 30s \
+		-cache-dir $$tmp/nkcache -workers 1 -quick -profiles mcf,omnetpp,xz,gcc fig13 \
+		2>/dev/null | sed '/completed in/d' >$$tmp/netqkill.txt; \
+	wait $$w1 $$killer 2>/dev/null || true; \
 	cmp $$tmp/ref.txt $$tmp/cold.txt; \
 	cmp $$tmp/ref.txt $$tmp/warm.txt; \
 	cmp $$tmp/ref.json $$tmp/warm.json; \
 	cmp $$tmp/ref.txt $$tmp/norun.txt; \
 	cmp $$tmp/ref.txt $$tmp/dist.txt; \
 	cmp $$tmp/ref.json $$tmp/dist.json; \
+	cmp $$tmp/ref.txt $$tmp/netq.txt; \
+	cmp $$tmp/ref.json $$tmp/netq.json; \
+	cmp $$tmp/ref.txt $$tmp/netqkill.txt; \
 	cold=$$((t1-t0)); warm=$$((t2-t1)); \
 	echo "cache-identity: cold $${cold}ms, warm $${warm}ms"; \
 	if [ $$((warm*5)) -gt $$cold ]; then \
 		echo "cache-identity: FAIL: warm quick-campaign rerun not >=5x faster than cold"; exit 1; fi; \
-	echo "cache-identity: OK (byte-identical across cache-off/cold/warm/run-cache-off/distributed; warm >=5x cold)"
+	echo "cache-identity: OK (byte-identical across cache-off/cold/warm/run-cache-off/distributed/netq/netq-kill; warm >=5x cold)"
 
 # Remove the default on-disk artifact cache (the -cache-dir default).
 clean-cache:

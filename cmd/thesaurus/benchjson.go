@@ -15,7 +15,9 @@ import (
 	"repro/internal/line"
 	"repro/internal/lsh"
 	"repro/internal/memory"
+	"repro/internal/netq"
 	"repro/internal/thesaurus"
+	"repro/internal/workq"
 )
 
 // benchSchema versions the BENCH_hotpath.json layout so downstream tooling
@@ -43,6 +45,9 @@ const (
 	// classArtifact rows measure the recording-cache codec (per campaign,
 	// dominated by trace length).
 	classArtifact = "artifact"
+	// classTransport rows measure distribution-queue overheads (per task,
+	// loopback TCP); scheduler-dependent, trajectory only.
+	classTransport = "transport"
 )
 
 // benchEntry is one benchmark row of the machine-readable trajectory.
@@ -322,6 +327,40 @@ func measureBench() ([]benchEntry, error) {
 				b.Fatal(err)
 			}
 		}
+	})
+
+	// --- netq transport (multi-host distribution) ---
+	// One op is a full task round trip over loopback TCP: claim (request +
+	// task reply), then result (key-only report + ack), including the
+	// coordinator's lease bookkeeping. This bounds the per-cell queue
+	// overhead of a -serve/-connect campaign; it must stay microseconds —
+	// noise next to even a -quick cell's compute.
+	add("netq_task_roundtrip", classTransport, 0, func(b *testing.B) {
+		tasks := make([]workq.Task, b.N)
+		for i := range tasks {
+			tasks[i] = workq.Task{ID: i, Profile: "mcf", Design: "Baseline"}
+		}
+		srv, err := netq.NewServer("127.0.0.1:0", tasks, netq.ServerOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := netq.Dial(srv.Addr(), netq.ClientOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t, ok, err := cli.Claim()
+			if err != nil || !ok {
+				b.Fatalf("claim %d: ok=%v err=%v", i, ok, err)
+			}
+			if err := cli.Finish(t, workq.Outcome{Key: "bench"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
 	})
 	return entries, nil
 }

@@ -8,96 +8,34 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/netq"
 	"repro/internal/spool"
 	"repro/internal/workload"
+	"repro/internal/workq"
 )
 
-// workReclaimAfter is how long a .work claim may sit untouched before a
-// live worker takes it back. Even the slowest single design × profile
-// cell finishes well inside this, so only a genuinely dead worker's
-// claims ever come back.
+// workReclaimAfter is how long a claim may sit untouched before the queue
+// takes it back from a presumed-dead worker. Workers heartbeat every
+// workq.HeartbeatEvery, so only a genuinely dead worker's claims ever
+// come back — on both transports (spool mtime restamp, netq lease).
 const workReclaimAfter = 2 * time.Minute
 
-// runWorker drains the spool directory: claim a task, run its design ×
-// profile cell (which persists the RunOutput artifact into the shared
-// cache under the cross-process singleflight), mark it done, repeat
-// until the queue is empty. When the queue looks drained it sweeps for
-// claims abandoned by crashed workers before exiting, so a dead peer's
-// tasks are finished by the survivors rather than falling through to the
-// coordinator's serial recompute pass. The artifact cache is the only
-// result channel — nothing about the run itself travels back through the
-// spool.
-func runWorker(spoolDir string) error {
-	if _, ok := harness.ArtifactStats(); !ok {
-		return errors.New("-worker requires the artifact cache (-no-cache is incompatible)")
-	}
-	for {
-		t, ok, err := spool.Claim(spoolDir)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			n, err := spool.Reclaim(spoolDir, workReclaimAfter)
-			if err != nil {
-				return err
-			}
-			if n > 0 {
-				fmt.Fprintf(os.Stderr, "thesaurus worker: reclaimed %d abandoned task(s)\n", n)
-				continue
-			}
-			return nil
-		}
-		opt := harness.RunOptions{
-			Accesses: t.Accesses,
-			Replay:   harness.DefaultRunOptions().Replay,
-			Workers:  1,
-		}
-		opt.Replay.WarmupFraction = t.WarmupFraction
-		opt.Replay.SampleEvery = t.SampleEvery
-		opt.Replay.Verify = t.Verify
-		_, runErr := harness.Run(t.Profile, t.Design, opt)
-		if runErr != nil {
-			fmt.Fprintf(os.Stderr, "thesaurus worker: task %d (%s/%s): %v\n",
-				t.ID, t.Profile, t.Design, runErr)
-		}
-		if err := spool.Finish(spoolDir, t.ID, runErr); err != nil {
-			return err
-		}
-	}
-}
-
-// distribute shards the design × profile matrix of the coming campaign
-// across n worker processes, each warming the shared artifact cache, then
-// returns so the caller's normal (in-process) campaign runs against the
-// warm cache. The report is therefore assembled by exactly the same code
-// path as a serial run — byte-identity with serial execution holds by
-// construction, and a lost or failed worker costs only recomputation in
-// the final pass, never correctness.
-func distribute(n int, exeArgs workerArgs, opt experiments.Options) error {
-	if _, ok := harness.ArtifactStats(); !ok {
-		return errors.New("-distribute requires the artifact cache (-no-cache is incompatible)")
-	}
-	exe, err := os.Executable()
-	if err != nil {
-		return fmt.Errorf("distribute: resolve executable: %w", err)
-	}
-	spoolDir, err := os.MkdirTemp("", "thesaurus-spool-*")
-	if err != nil {
-		return fmt.Errorf("distribute: %w", err)
-	}
-	defer os.RemoveAll(spoolDir)
-
+// campaignTasks enumerates the design × profile matrix of the coming
+// campaign as transport-neutral queue tasks — the one task list both the
+// spool coordinator and the netq coordinator publish.
+func campaignTasks(opt experiments.Options) []workq.Task {
 	profiles := opt.Profiles
 	if len(profiles) == 0 {
 		profiles = workload.Names()
 	}
 	ro := harness.DefaultRunOptions()
-	var tasks []spool.Task
+	var tasks []workq.Task
 	for _, p := range profiles {
 		for _, d := range harness.Designs {
-			tasks = append(tasks, spool.Task{
+			tasks = append(tasks, workq.Task{
 				ID:             len(tasks),
 				Profile:        p,
 				Design:         d,
@@ -108,31 +46,188 @@ func distribute(n int, exeArgs workerArgs, opt experiments.Options) error {
 			})
 		}
 	}
+	return tasks
+}
+
+// taskRunOptions reconstructs the harness options a task's cell runs
+// under. Workers stay serial per task (Workers=1): parallelism comes
+// from draining many tasks at once, not from sharding one replay.
+func taskRunOptions(t workq.Task) harness.RunOptions {
+	opt := harness.RunOptions{
+		Accesses: t.Accesses,
+		Replay:   harness.DefaultRunOptions().Replay,
+		Workers:  1,
+	}
+	opt.Replay.WarmupFraction = t.WarmupFraction
+	opt.Replay.SampleEvery = t.SampleEvery
+	opt.Replay.Verify = t.Verify
+	return opt
+}
+
+// runCell executes one task's design × profile cell via the normal
+// harness path, which persists the RunOutput artifact into the cache
+// under the cross-process singleflight. Run failures ride the outcome
+// (the task is marked failed, the coordinator recomputes in-process);
+// they never stop the worker's drain loop.
+func runCell(t workq.Task) workq.Outcome {
+	_, err := harness.Run(t.Profile, t.Design, taskRunOptions(t))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thesaurus worker: task %d (%s/%s): %v\n",
+			t.ID, t.Profile, t.Design, err)
+	}
+	return workq.Outcome{Err: err}
+}
+
+// workerCacheStats snapshots the installed cache's counters in the
+// transport schema workers report back to the coordinator.
+func workerCacheStats() workq.CacheStats {
+	st, ok := harness.ArtifactStats()
+	if !ok {
+		return workq.CacheStats{}
+	}
+	return workq.CacheStats{
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Stores:        st.Stores,
+		Corrupt:       st.Corrupt,
+		Evictions:     st.Evictions,
+		TouchFailures: st.TouchFailures,
+		BytesLoaded:   st.BytesLoaded,
+		BytesStored:   st.BytesStored,
+	}
+}
+
+// reportMergedStats prints one coordinator-side summary of every
+// reporting worker's cache counters — the replacement for N workers
+// interleaving their own stats lines on a shared stderr.
+func reportMergedStats(workers int, s workq.CacheStats) {
+	if workers == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"artifact cache (%d workers): %d hits, %d misses, %d stores, %d corrupt, %d evicted, %.1f MiB loaded, %.1f MiB stored\n",
+		workers, s.Hits, s.Misses, s.Stores, s.Corrupt, s.Evictions,
+		float64(s.BytesLoaded)/(1<<20), float64(s.BytesStored)/(1<<20))
+	if s.TouchFailures > 0 {
+		fmt.Fprintf(os.Stderr,
+			"artifact cache (workers): %d LRU touch failure(s) — entries age as if idle; check cache-dir permissions\n",
+			s.TouchFailures)
+	}
+}
+
+// runWorkerSpool drains a spool directory, then publishes this worker's
+// cache counters into it for the coordinator's merged summary line.
+func runWorkerSpool(dir string) error {
+	if _, ok := harness.ArtifactStats(); !ok {
+		return errors.New("-worker -spool requires the artifact cache (-no-cache is incompatible)")
+	}
+	drainErr := workq.Drain(spool.NewQueue(dir, workReclaimAfter), workq.HeartbeatEvery, runCell)
+	if err := spool.WriteStats(dir, workerCacheStats()); err != nil {
+		fmt.Fprintln(os.Stderr, "thesaurus worker:", err)
+	}
+	return drainErr
+}
+
+// runWorkerNet connects to a netq coordinator and drains its queue.
+// connect is host:port, or @file naming a file that will hold the
+// address (the coordinator's -addr-file; polled briefly so workers can
+// start before the coordinator binds its port). On this transport
+// completed tasks report their RunOutput content key, plus the raw
+// artifact bytes when the handshake proved the coordinator's cache
+// directory is not ours.
+func runWorkerNet(connect string, cache *artifact.Cache) error {
+	addr, err := resolveConnectAddr(connect)
+	if err != nil {
+		return err
+	}
+	copt := netq.ClientOptions{FinalStats: workerCacheStats}
+	if cache != nil {
+		copt.CacheDir = cache.Dir()
+	}
+	cli, err := netq.Dial(addr, copt)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	stream := workq.WantsArtifacts(cli)
+	return workq.Drain(cli, workq.HeartbeatEvery, func(t workq.Task) workq.Outcome {
+		out := runCell(t)
+		if out.Err != nil {
+			return out
+		}
+		key, err := harness.DefaultRunContentKey(t.Profile, t.Design, taskRunOptions(t))
+		if err != nil {
+			// The cell ran; only the key derivation failed. Report success
+			// without a key — the coordinator recomputes from its cache.
+			fmt.Fprintf(os.Stderr, "thesaurus worker: task %d content key: %v\n", t.ID, err)
+			return out
+		}
+		out.Key = key
+		if stream && cache != nil {
+			if raw, ok := cache.RawRunOutput(key); ok {
+				out.Artifact = raw
+			} else {
+				// Nothing persisted to stream (run cache disabled or
+				// evicted already): the completion still counts, the
+				// coordinator just recomputes this cell in-process.
+				fmt.Fprintf(os.Stderr, "thesaurus worker: task %d: no artifact to stream (run cache off?)\n", t.ID)
+			}
+		}
+		return out
+	})
+}
+
+// resolveConnectAddr turns a -connect value into a dialable address,
+// polling an @file until the coordinator publishes into it.
+func resolveConnectAddr(connect string) (string, error) {
+	if len(connect) == 0 {
+		return "", errors.New("-connect requires an address")
+	}
+	if connect[0] != '@' {
+		return connect, nil
+	}
+	path := connect[1:]
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil && len(data) > 0 {
+			return string(data), nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = errors.New("file is empty")
+			}
+			return "", fmt.Errorf("-connect %s: %w", connect, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// distribute shards the design × profile matrix of the coming campaign
+// across n worker processes draining a spool directory, each warming the
+// shared artifact cache, then returns so the caller's normal (in-process)
+// campaign runs against the warm cache. The report is therefore assembled
+// by exactly the same code path as a serial run — byte-identity with
+// serial execution holds by construction, and a lost or failed worker
+// costs only recomputation in the final pass, never correctness.
+func distribute(n int, exeArgs workerArgs, opt experiments.Options) error {
+	if _, ok := harness.ArtifactStats(); !ok {
+		return errors.New("-distribute requires the artifact cache (-no-cache is incompatible)")
+	}
+	spoolDir, err := os.MkdirTemp("", "thesaurus-spool-*")
+	if err != nil {
+		return fmt.Errorf("distribute: %w", err)
+	}
+	defer os.RemoveAll(spoolDir)
+
+	tasks := campaignTasks(opt)
 	if err := spool.Write(spoolDir, tasks); err != nil {
 		return err
 	}
 
-	args := []string{"-worker", "-spool", spoolDir, "-cache-dir", exeArgs.cacheDir}
-	if exeArgs.cacheMax > 0 {
-		args = append(args, "-cache-max-bytes", strconv.FormatInt(exeArgs.cacheMax, 10))
-	}
-	if exeArgs.noRunCache {
-		args = append(args, "-no-run-cache")
-	}
-	if exeArgs.verify {
-		args = append(args, "-cache-verify")
-	}
-	exited := make(chan error, n)
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe, args...)
-		// Workers write nothing the report needs: stdout would only ever
-		// carry accidental prints, so both streams go to our stderr.
-		cmd.Stdout = os.Stderr
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			return fmt.Errorf("distribute: start worker: %w", err)
-		}
-		go func() { exited <- cmd.Wait() }()
+	exited, err := spawnWorkers(n, append([]string{"-worker", "-spool", spoolDir}, exeArgs.flags()...))
+	if err != nil {
+		return err
 	}
 
 	fmt.Fprintf(os.Stderr, "distribute: %d tasks across %d workers (spool %s)\n",
@@ -166,7 +261,32 @@ func distribute(n int, exeArgs workerArgs, opt experiments.Options) error {
 			fmt.Fprintf(os.Stderr, "distribute: %s (will recompute in-process)\n", m)
 		}
 	}
+	if s, workers, err := spool.ReadStats(spoolDir); err == nil {
+		reportMergedStats(workers, s)
+	}
 	return nil
+}
+
+// spawnWorkers launches n copies of our own binary with args, returning
+// a channel that receives each worker's exit status.
+func spawnWorkers(n int, args []string) (<-chan error, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("distribute: resolve executable: %w", err)
+	}
+	exited := make(chan error, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe, args...)
+		// Workers write nothing the report needs: stdout would only ever
+		// carry accidental prints, so both streams go to our stderr.
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("distribute: start worker: %w", err)
+		}
+		go func() { exited <- cmd.Wait() }()
+	}
+	return exited, nil
 }
 
 // workerArgs is the slice of our own flag state a spawned worker must
@@ -176,4 +296,19 @@ type workerArgs struct {
 	cacheMax   int64
 	noRunCache bool
 	verify     bool
+}
+
+// flags renders the inherited state as command-line arguments.
+func (a workerArgs) flags() []string {
+	args := []string{"-cache-dir", a.cacheDir}
+	if a.cacheMax > 0 {
+		args = append(args, "-cache-max-bytes", strconv.FormatInt(a.cacheMax, 10))
+	}
+	if a.noRunCache {
+		args = append(args, "-no-run-cache")
+	}
+	if a.verify {
+		args = append(args, "-cache-verify")
+	}
+	return args
 }

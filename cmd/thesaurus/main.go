@@ -26,8 +26,15 @@
 //	-cache-verify      debug: regenerate and deep-compare every artifact hit
 //	-distribute N      shard the design×profile matrix across N worker processes
 //	                   warming the shared cache before the in-process campaign
-//	-worker            worker mode: drain a spool directory (used by -distribute)
-//	-spool d           work-queue directory for -worker
+//	-serve host:port   serve the matrix as a TCP work queue (multi-host runs;
+//	                   port 0 picks a free one, -addr-file publishes it)
+//	-addr-file f       with -serve: write the bound address to f
+//	-lease d           with -serve: task lease duration (default 2m)
+//	-serve-grace d     with -serve: degrade to in-process recompute after this
+//	                   long with no workers connected (default 15s)
+//	-worker            worker mode: drain a work queue (-spool or -connect)
+//	-spool d           work-queue directory for -worker (spool transport)
+//	-connect a         coordinator host:port or @file for -worker (TCP transport)
 package main
 
 import (
@@ -45,31 +52,32 @@ import (
 	"repro/internal/workload"
 )
 
-// setupArtifacts installs the on-disk artifact cache and returns the
-// effective directory ("" when disabled) so the coordinator can hand the
-// exact same cache to worker processes. The cache is an accelerator only,
-// so any setup failure just disables it with a note on stderr — stdout
-// (the report byte-identity surface) is never touched.
-func setupArtifacts(dir string, maxBytes int64, disabled, verify bool) string {
+// setupArtifacts installs the on-disk artifact cache and returns it (nil
+// when disabled) so the coordinator can hand the exact same cache to
+// worker processes and the netq transports can read and store raw
+// artifact bytes. The cache is an accelerator only, so any setup failure
+// just disables it with a note on stderr — stdout (the report
+// byte-identity surface) is never touched.
+func setupArtifacts(dir string, maxBytes int64, disabled, verify bool) *artifact.Cache {
 	if disabled {
-		return ""
+		return nil
 	}
 	if dir == "" {
 		base, err := os.UserCacheDir()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
-			return ""
+			return nil
 		}
 		dir = base + "/thesaurus/artifacts"
 	}
 	c, err := artifact.Open(dir, maxBytes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "thesaurus: artifact cache disabled:", err)
-		return ""
+		return nil
 	}
 	harness.UseArtifacts(c)
 	harness.SetArtifactVerify(verify)
-	return c.Dir()
+	return c
 }
 
 // reportArtifactStats summarizes cache activity on stderr (stderr so the
@@ -108,8 +116,13 @@ func main() {
 	noRunCache := flag.Bool("no-run-cache", false, "disable the run-level artifact layer (recordings still cached)")
 	cacheVerify := flag.Bool("cache-verify", false, "debug: regenerate and deep-compare every artifact hit")
 	distributeN := flag.Int("distribute", 0, "shard the design×profile matrix across N worker processes before the campaign")
-	worker := flag.Bool("worker", false, "worker mode: drain -spool, writing results into the shared cache")
-	spoolDir := flag.String("spool", "", "work-queue directory (required with -worker)")
+	worker := flag.Bool("worker", false, "worker mode: drain a work queue (-spool or -connect)")
+	spoolDir := flag.String("spool", "", "work-queue directory (worker mode, spool transport)")
+	connect := flag.String("connect", "", "coordinator host:port, or @file naming a file holding it (worker mode, TCP transport)")
+	serveAddr := flag.String("serve", "", "host:port to serve the campaign's TCP work queue on before the in-process campaign (port 0 picks one)")
+	addrFile := flag.String("addr-file", "", "with -serve: publish the bound address to this file (for -connect @file)")
+	leaseDur := flag.Duration("lease", 2*time.Minute, "with -serve: task lease duration (re-queued when a worker stops heartbeating)")
+	serveGrace := flag.Duration("serve-grace", 15*time.Second, "with -serve: give up and recompute in-process after this long with no workers connected")
 	flag.Parse()
 
 	if *benchjson != "" {
@@ -125,17 +138,27 @@ func main() {
 		return
 	}
 
-	effectiveCacheDir := setupArtifacts(*cacheDir, *cacheMax, *noCache, *cacheVerify)
+	cache := setupArtifacts(*cacheDir, *cacheMax, *noCache, *cacheVerify)
 	harness.SetRunCache(!*noRunCache)
 
 	if *worker {
-		if *spoolDir == "" {
-			fail(fmt.Errorf("-worker requires -spool"))
+		// Workers do not print their own cache stats: each transport
+		// carries them back (spool stats file / netq goodbye frame) and
+		// the coordinator prints one merged line instead of N interleaved.
+		var err error
+		switch {
+		case *spoolDir != "" && *connect != "":
+			err = fmt.Errorf("-worker takes -spool or -connect, not both")
+		case *spoolDir != "":
+			err = runWorkerSpool(*spoolDir)
+		case *connect != "":
+			err = runWorkerNet(*connect, cache)
+		default:
+			err = fmt.Errorf("-worker requires -spool or -connect")
 		}
-		if err := runWorker(*spoolDir); err != nil {
+		if err != nil {
 			fail(err)
 		}
-		reportArtifactStats()
 		return
 	}
 	defer reportArtifactStats()
@@ -167,17 +190,29 @@ func main() {
 			"table4", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "ablate"}
 	}
 
-	if *distributeN > 0 {
-		// Pre-warm the shared cache across worker processes; the campaign
-		// below then assembles the report in-process from warm artifacts,
-		// so its bytes are identical to a serial run by construction.
-		err := distribute(*distributeN, workerArgs{
-			cacheDir:   effectiveCacheDir,
-			cacheMax:   *cacheMax,
-			noRunCache: *noRunCache,
-			verify:     *cacheVerify,
-		}, opt)
-		if err != nil {
+	wa := workerArgs{
+		cacheMax:   *cacheMax,
+		noRunCache: *noRunCache,
+		verify:     *cacheVerify,
+	}
+	if cache != nil {
+		wa.cacheDir = cache.Dir()
+	}
+	switch {
+	case *serveAddr != "":
+		// Pre-warm the cache over the TCP work queue (workers connect from
+		// anywhere; -distribute N additionally spawns N local ones); the
+		// campaign below then assembles the report in-process from warm
+		// artifacts, so its bytes are identical to a serial run by
+		// construction.
+		if err := serveCampaign(*serveAddr, *addrFile, *leaseDur, *serveGrace,
+			*distributeN, wa, opt, cache); err != nil {
+			fail(err)
+		}
+	case *distributeN > 0:
+		// Same pre-warm over the spool directory: local worker processes
+		// sharing our filesystem.
+		if err := distribute(*distributeN, wa, opt); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/artifact"
+	"repro/internal/experiments"
+	"repro/internal/netq"
+)
+
+// serveCampaign pre-warms the cache over the TCP work queue: it serves
+// the campaign's design × profile matrix on addr, waits for workers
+// (anywhere on the network; spawn > 0 additionally launches that many
+// local worker processes pointed back at us), and returns once every
+// task is terminal — or once no worker has been connected for grace, at
+// which point it degrades exactly like the spool coordinator: the
+// in-process campaign that follows recomputes whatever the cache is
+// missing, so a transport failure costs redundant work, never
+// correctness or report bytes.
+func serveCampaign(addr, addrFile string, lease, grace time.Duration,
+	spawn int, wa workerArgs, opt experiments.Options, cache *artifact.Cache) error {
+	if cache == nil {
+		return errors.New("-serve requires the artifact cache (-no-cache is incompatible)")
+	}
+	tasks := campaignTasks(opt)
+	srv, err := netq.NewServer(addr, tasks, netq.ServerOptions{
+		Lease:         lease,
+		CacheDir:      cache.Dir(),
+		StoreArtifact: cache.StoreRawRunOutput,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serve: %d tasks on %s (lease %s)\n", len(tasks), srv.Addr(), lease)
+
+	if addrFile != "" {
+		if err := publishAddr(addrFile, srv.Addr()); err != nil {
+			return err
+		}
+		defer os.Remove(addrFile)
+	}
+
+	if spawn > 0 {
+		args := append([]string{"-worker", "-connect", srv.Addr()}, wa.flags()...)
+		if _, err := spawnWorkers(spawn, args); err != nil {
+			return err
+		}
+	}
+
+	sum := srv.Wait(grace, func(p netq.Progress) {
+		fmt.Fprintf(os.Stderr, "serve: %d/%d done, %d leased, %d pending, %d workers\r",
+			p.Done, p.Total, p.Leased, p.Pending, p.Workers)
+	})
+	fmt.Fprintf(os.Stderr, "serve: %d/%d done, %d failed, %d requeued, %d workers over the run\n",
+		sum.Done, sum.Total, sum.Failed, sum.Requeues, sum.WorkersEver)
+	for _, m := range sum.Failures {
+		fmt.Fprintf(os.Stderr, "serve: %s (will recompute in-process)\n", m)
+	}
+	if sum.Degraded {
+		fmt.Fprintf(os.Stderr,
+			"serve: no workers for %s with %d tasks outstanding — degrading to in-process recompute\n",
+			grace, sum.Pending+sum.Leased)
+	}
+	reportMergedStats(sum.StatsWorkers, sum.Stats)
+	return nil
+}
+
+// publishAddr writes the bound address for -connect @file workers,
+// via temp + rename so a polling worker never reads a torn address.
+func publishAddr(path, addr string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".addr-tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: publish address: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.WriteString(addr); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("serve: publish address: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: publish address: %w", err)
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("serve: publish address: %w", err)
+	}
+	return nil
+}

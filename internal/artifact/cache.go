@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,14 @@ type Cache struct {
 	// broken. Overridable in tests.
 	lockWait  time.Duration
 	lockStale time.Duration
+
+	// lockSeen tracks when this process first observed each lock file
+	// (path → lockObservation). Staleness is measured on the local
+	// monotonic clock from that first observation — never by comparing
+	// the lock's mtime against our wall clock, which on a shared
+	// filesystem mixes two machines' clocks and breaks live locks (or
+	// preserves dead ones) under skew.
+	lockSeen sync.Map
 
 	hits        atomic.Uint64
 	misses      atomic.Uint64
@@ -187,6 +196,46 @@ func (c *Cache) StoreFile(key string, f *File) {
 	c.store(key, f)
 }
 
+// RawRunOutput returns the encoded bytes of the run artifact stored
+// under key, validated end to end (checksum intact, run section
+// present), for streaming to another process. It deliberately bypasses
+// the hit/miss counters and the LRU touch: it re-reads an entry the
+// caller just produced, not a cache lookup in its own right.
+func (c *Cache) RawRunOutput(key string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	f, err := Decode(data)
+	if err != nil || f.Run == nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// StoreRawRunOutput verifies data as a complete artifact carrying a run
+// section — the CRC-checked decode is the trust boundary for bytes that
+// crossed a network — and persists it under key with the usual
+// crash-safe write. Unlike the in-process store path, failures surface:
+// the caller streamed these bytes precisely because it cannot recompute
+// them locally without paying the run again.
+func (c *Cache) StoreRawRunOutput(key string, data []byte) error {
+	f, err := Decode(data)
+	if err != nil {
+		return fmt.Errorf("artifact: streamed entry: %w", err)
+	}
+	if f.Run == nil {
+		return fmt.Errorf("artifact: streamed entry carries no run section")
+	}
+	if err := writeAtomic(c.dir, c.path(key), data); err != nil {
+		return fmt.Errorf("artifact: store streamed entry: %w", err)
+	}
+	c.stores.Add(1)
+	c.bytesStored.Add(uint64(len(data)))
+	c.evict()
+	return nil
+}
+
 func (c *Cache) store(key string, f *File) {
 	data := Encode(make([]byte, 0, 1<<20), f)
 	if err := writeAtomic(c.dir, c.path(key), data); err != nil {
@@ -274,8 +323,9 @@ func loadOrCompute[T any](c *Cache, key string,
 		}
 		// Lock held: wait for the holder's artifact instead of
 		// duplicating its work.
-		if st, serr := os.Stat(c.lock(key)); serr == nil && time.Since(st.ModTime()) > c.lockStale {
+		if c.lockLooksStale(c.lock(key)) {
 			os.Remove(c.lock(key)) // abandoned by a crashed writer
+			c.lockSeen.Delete(c.lock(key))
 			continue
 		}
 		if time.Now().After(deadline) {
@@ -291,6 +341,44 @@ func loadOrCompute[T any](c *Cache, key string,
 			return v, true, nil
 		}
 	}
+}
+
+// lockObservation is one lock file's local sighting: when this process
+// first saw it (monotonic-bearing local time) and the mtime it had then.
+type lockObservation struct {
+	firstSeen time.Time
+	mtime     time.Time
+}
+
+// lockLooksStale reports whether the lock at path has been observed by
+// this process, unchanged, for longer than lockStale. The clock is the
+// local monotonic one: on a shared filesystem the lock's mtime was
+// written by another machine's clock, so `time.Since(mtime)` would break
+// a live writer's lock when that clock runs behind ours — or never break
+// a crashed writer's lock when it runs ahead. An mtime change (the
+// holder stamping progress) restarts the observation window; the mtime
+// is used only as an identity/progress signal, never compared against
+// our wall clock. The cost of skew immunity is that staleness accrues
+// from first local sight rather than from the crash itself — bounded,
+// and always the safe direction (waiting longer, never breaking a live
+// lock early).
+func (c *Cache) lockLooksStale(path string) bool {
+	st, err := os.Stat(path)
+	if err != nil {
+		// Gone (or unreadable): nothing to break; forget the sighting so
+		// a future lock at this path starts a fresh window.
+		c.lockSeen.Delete(path)
+		return false
+	}
+	now := time.Now()
+	if v, ok := c.lockSeen.Load(path); ok {
+		obs := v.(lockObservation)
+		if obs.mtime.Equal(st.ModTime()) {
+			return now.Sub(obs.firstSeen) > c.lockStale
+		}
+	}
+	c.lockSeen.Store(path, lockObservation{firstSeen: now, mtime: st.ModTime()})
+	return false
 }
 
 // evict removes least-recently-used artifacts (oldest mtime first) until

@@ -221,6 +221,85 @@ func TestCacheStaleLockBroken(t *testing.T) {
 	}
 }
 
+// TestCacheStaleLockFutureMtime: a crashed writer on a machine whose
+// clock ran ahead leaves a lock whose mtime is in our future. Raw
+// mtime-age staleness (time.Since(mtime) > lockStale) would never fire
+// on it; the local monotonic observation window breaks it all the same.
+func TestCacheStaleLockFutureMtime(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockStale = 50 * time.Millisecond
+	c.lockWait = 5 * time.Second
+	if err := os.WriteFile(c.lock("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := time.Now().Add(time.Hour)
+	os.Chtimes(c.lock("k"), future, future)
+	rec := synthRecorded(12, 40)
+	start := time.Now()
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded { return rec })
+	if hit || !RecordedEqual(got, rec) {
+		t.Fatal("future-mtime stale lock not broken")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("future-mtime stale-lock break waited for the full deadline")
+	}
+	if _, ok := c.LoadRecorded("k"); !ok {
+		t.Fatal("artifact not stored after breaking the future-mtime lock")
+	}
+}
+
+// TestCacheLiveLockPastMtimeNotBroken: a live writer on a machine whose
+// clock runs behind holds a lock whose mtime is deep in our past. Raw
+// mtime-age staleness would break it immediately and let two writers
+// race; the monotonic window instead requires the lock to sit unchanged
+// under local observation, so a holder stamping progress (mtime changes)
+// is never broken — the waiter degrades to compute-without-persist at
+// lockWait exactly as for any slow holder.
+func TestCacheLiveLockPastMtimeNotBroken(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockStale = 150 * time.Millisecond
+	c.lockWait = 500 * time.Millisecond
+	if err := os.WriteFile(c.lock("k"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The holder's skewed clock: every stamp lands a minute in our past,
+	// yet each one changes the mtime, restarting the observation window.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		n := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				n++
+				past := time.Now().Add(-time.Minute + time.Duration(n)*time.Millisecond)
+				os.Chtimes(c.lock("k"), past, past)
+			}
+		}
+	}()
+	rec := synthRecorded(13, 40)
+	got, hit := c.LoadOrRecord("k", func() *sim.Recorded { return rec })
+	close(stop)
+	<-done
+	if hit || !RecordedEqual(got, rec) {
+		t.Fatal("waiter did not fall back to compute-without-persist")
+	}
+	if _, err := os.Stat(c.lock("k")); err != nil {
+		t.Fatal("live lock with skewed-past mtime was broken")
+	}
+	if _, ok := c.LoadRecorded("k"); ok {
+		t.Fatal("timed-out waiter persisted despite not holding the lock")
+	}
+	if st := c.Stats(); st.Stores != 0 {
+		t.Fatalf("stores = %d, want 0 (compute-without-persist)", st.Stores)
+	}
+}
+
 // TestCacheLockTimeout: when a live writer never finishes within
 // lockWait, the caller computes without persisting and does not remove
 // the holder's lock.

@@ -103,6 +103,23 @@ func effectiveThesaurusConfig(design string, opt RunOptions) *thesaurus.Config {
 	return &cfg
 }
 
+// DefaultRunContentKey returns the run-level artifact content key a
+// memoized default-configuration run of (profile, design) stores under —
+// the exact key runOrLoad computes on the sample=true path that campaign
+// cells take. Distribution transports use it to name a completed task's
+// artifact without re-running anything: a netq worker reports the key in
+// its result frame (and streams the bytes stored under it when the cache
+// is not shared).
+func DefaultRunContentKey(profile, design string, opt RunOptions) (string, error) {
+	p, err := workload.ProfileByName(profile)
+	if err != nil {
+		return "", err
+	}
+	keySample := design == "Thesaurus"
+	return artifact.RunOutputKey(p, sim.DefaultSystem(), design, opt.Accesses,
+		opt.Replay, keySample, effectiveThesaurusConfig(design, opt)), nil
+}
+
 // runOrLoad is the body of Run's computation behind the in-memory layers:
 // it consults the run-level artifact cache (when installed and enabled)
 // before paying for a replay. For memoized default-config runs it

@@ -34,10 +34,13 @@ import (
 // last words. Calls through function values are followed
 // flow-insensitively: the callee set is every function bound to the
 // called identifier by an assignment or declaration anywhere in the
-// callee's unit, and denylisted functions reached that way are flagged at
-// the call site. Function values carried through struct fields remain
-// untracked; the compiler-proven escape budget (alloc.budget,
-// thesauruslint -escapes) backstops those.
+// callee's unit — including bindings through struct fields, slice/array
+// composite literals, and index assignments (xs[i] = f; a call through
+// xs[j] follows every function ever stored in xs) — and denylisted
+// functions reached that way are flagged at the call site. Function
+// values carried through maps and channels remain untracked; the
+// compiler-proven escape budget (alloc.budget, thesauruslint -escapes)
+// backstops those.
 //
 // Findings are worded identically from whichever analysis unit reaches a
 // construct, so the runner's global dedup collapses multi-root reports.
@@ -124,16 +127,35 @@ func (u *allocUnit) declIndex() map[types.Object]*ast.FuncDecl {
 // unit, flow-insensitively and in source order. Struct fields are keyed
 // by the field's *types.Var, so every instance of a type shares one
 // binding set (an assignment through any value of the type counts for
-// all of them). It is the callee set for calls through function values:
-// an over-approximation (every binding counts, whichever one is live),
-// which is the sound direction for an allocation gate.
+// all of them); a slice or array of functions is keyed on the container
+// variable, so every element written anywhere — composite literal or
+// index assignment — counts for a call through any element. It is the
+// callee set for calls through function values: an over-approximation
+// (every binding counts, whichever one is live), which is the sound
+// direction for an allocation gate.
 func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 	if u.bindings != nil {
 		return u.bindings
 	}
 	u.bindings = map[types.Object][]*types.Func{}
-	bindObj := func(obj types.Object, rhs ast.Expr) {
+	var bindObj func(obj types.Object, rhs ast.Expr)
+	bindObj = func(obj types.Object, rhs ast.Expr) {
 		if _, ok := obj.(*types.Var); !ok {
+			return
+		}
+		// A slice/array literal on the right binds each element's function
+		// to the container object ({0: f} indexed elements included);
+		// whichever element a later call indexes, its callee is in the set.
+		if lit, ok := ast.Unparen(rhs).(*ast.CompositeLit); ok {
+			switch u.info.TypeOf(lit).Underlying().(type) {
+			case *types.Slice, *types.Array:
+				for _, elt := range lit.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					bindObj(obj, elt)
+				}
+			}
 			return
 		}
 		fn := funcDenoted(u.info, rhs)
@@ -147,7 +169,8 @@ func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 		}
 		u.bindings[obj] = append(u.bindings[obj], fn)
 	}
-	bind := func(lhs, rhs ast.Expr) {
+	var bind func(lhs, rhs ast.Expr)
+	bind = func(lhs, rhs ast.Expr) {
 		switch x := ast.Unparen(lhs).(type) {
 		case *ast.Ident:
 			if x.Name != "_" {
@@ -156,6 +179,10 @@ func (u *allocUnit) funcBindings() map[types.Object][]*types.Func {
 		case *ast.SelectorExpr:
 			// Field assignment (s.fn = ...): key on the field object.
 			bindObj(objectOf(u.info, x.Sel), rhs)
+		case *ast.IndexExpr:
+			// Index assignment (xs[i] = f): key on the container, same
+			// over-approximation as a composite-literal element.
+			bind(x.X, rhs)
 		}
 	}
 	for _, f := range u.files {
@@ -524,8 +551,9 @@ func (w *allocWalker) checkCall(u *allocUnit, call *ast.CallExpr, stack []ast.No
 
 // boundCallees resolves a call through a function value to the functions
 // assigned to the called identifier — or, for a call through a struct
-// field (s.fn(...)), to the functions bound to that field anywhere in
-// the unit, by assignment or composite literal.
+// field (s.fn(...)) or a slice/array element (xs[i](...)), to the
+// functions bound to that field or container anywhere in the unit, by
+// assignment, index assignment, or composite literal.
 func (w *allocWalker) boundCallees(u *allocUnit, fun ast.Expr) []*types.Func {
 	var obj types.Object
 	switch x := ast.Unparen(fun).(type) {
@@ -533,6 +561,12 @@ func (w *allocWalker) boundCallees(u *allocUnit, fun ast.Expr) []*types.Func {
 		obj = objectOf(u.info, x)
 	case *ast.SelectorExpr:
 		obj = objectOf(u.info, x.Sel)
+	case *ast.IndexExpr:
+		// Element call: the callee set is the container's. A generic
+		// instantiation f[T](...) also parses as an IndexExpr, but its
+		// operand resolves to a *types.Func, which the Var filter in the
+		// recursive call rejects (calleeFunc already handled it anyway).
+		return w.boundCallees(u, x.X)
 	default:
 		return nil
 	}

@@ -309,3 +309,35 @@ func viaPositionalField(n int) int {
 	h := hooks{literalAlloc, nil}
 	return h.fn(n)
 }
+
+// sliceAlloc is reached only through slice/array element bindings
+// (allocgate: make inside, found through the literal elements and the
+// index assignments below; the closure dedup keeps the finding single).
+func sliceAlloc(n int) int {
+	buf := make([]byte, n)
+	return len(buf)
+}
+
+// pipeline is a package-level slice-of-functions binding: every element
+// of the literal — positional or indexed — joins the container's callee
+// set.
+var pipeline = []func(int) int{passthrough, 1: sliceAlloc}
+
+// Calls through slice and array elements follow every function bound to
+// the container, by composite literal or index assignment, whichever
+// index the call site uses. The denylisted fmt.Sprintf stored by index
+// assignment is flagged at the call site (allocgate: fmt.Sprintf via
+// element).
+//
+//thesaurus:hotpath
+func viaElementValue(n int) int {
+	var stages [2]func(int) int
+	stages[0] = passthrough
+	stages[1] = sliceAlloc
+	local := []func(int) int{passthrough}
+	local[0] = sliceAlloc
+	var deniers [1]func(string, ...any) string
+	deniers[0] = fmt.Sprintf
+	_ = deniers[0]("%d", n)
+	return stages[0](n) + local[0](n) + pipeline[n%2](n)
+}

@@ -29,21 +29,14 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"repro/internal/workq"
 )
 
-// Task is one design × profile cell of a campaign matrix, carrying every
-// run parameter the worker needs to reproduce the coordinator's exact
-// content key (the replay scalars mirror sim.ReplayOptions).
-type Task struct {
-	ID       int    `json:"id"`
-	Profile  string `json:"profile"`
-	Design   string `json:"design"`
-	Accesses int    `json:"accesses"`
-
-	WarmupFraction float64 `json:"warmup_fraction"`
-	SampleEvery    int     `json:"sample_every"`
-	Verify         bool    `json:"verify,omitempty"`
-}
+// Task is the shared transport-neutral task schema (one design × profile
+// cell); the alias keeps the spool's on-disk JSON layout owned by workq,
+// where internal/netq frames the identical struct.
+type Task = workq.Task
 
 // Result is written next to a finished task (as .done or .fail).
 type Result struct {
@@ -195,6 +188,115 @@ func Scan(dir string) (Progress, error) {
 		}
 	}
 	return p, nil
+}
+
+// Queue adapts a spool directory to the transport-neutral workq.Queue
+// contract. Claim falls back to reclaiming abandoned .work files before
+// declaring the queue drained (so a dead peer's tasks are finished by
+// the survivors), Heartbeat restamps the claim's mtime so a slow-but-
+// alive task is never reclaimed out from under its worker, and Finish
+// publishes the terminal marker. Outcome keys and artifact bytes are
+// ignored: on the spool transport the shared artifact cache is the only
+// result channel.
+type Queue struct {
+	dir string
+	// reclaimAfter is how long a .work claim may sit untouched before
+	// Claim takes it back from a presumed-dead worker.
+	reclaimAfter time.Duration
+}
+
+// NewQueue returns the workq view of the spool directory dir.
+func NewQueue(dir string, reclaimAfter time.Duration) *Queue {
+	return &Queue{dir: dir, reclaimAfter: reclaimAfter}
+}
+
+// Claim implements workq.Queue.
+func (q *Queue) Claim() (workq.Task, bool, error) {
+	for {
+		t, ok, err := Claim(q.dir)
+		if err != nil || ok {
+			return t, ok, err
+		}
+		n, err := Reclaim(q.dir, q.reclaimAfter)
+		if err != nil {
+			return workq.Task{}, false, err
+		}
+		if n == 0 {
+			return workq.Task{}, false, nil
+		}
+		fmt.Fprintf(os.Stderr, "thesaurus worker: reclaimed %d abandoned task(s)\n", n)
+	}
+}
+
+// Heartbeat implements workq.Queue by restamping the claim file's mtime,
+// the clock Reclaim's staleness deadline reads.
+func (q *Queue) Heartbeat(t workq.Task) error {
+	now := time.Now()
+	return os.Chtimes(taskPath(q.dir, t.ID, ".work"), now, now)
+}
+
+// Finish implements workq.Queue.
+func (q *Queue) Finish(t workq.Task, out workq.Outcome) error {
+	return Finish(q.dir, t.ID, out.Err)
+}
+
+// WriteStats publishes a worker's final cache counters into the spool
+// directory (stats-*.json, written via temp+rename so the coordinator
+// never reads a torn file). Each worker writes exactly one file at exit;
+// the coordinator merges them into one summary line instead of letting N
+// workers interleave their own prints on stderr.
+func WriteStats(dir string, s workq.CacheStats) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("spool: marshal stats: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".stats-tmp-*")
+	if err != nil {
+		return fmt.Errorf("spool: write stats: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("spool: write stats: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("spool: write stats: %w", err)
+	}
+	final := filepath.Join(dir, "stats-"+filepath.Base(name)[len(".stats-tmp-"):]+".json")
+	if err := os.Rename(name, final); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("spool: publish stats: %w", err)
+	}
+	return nil
+}
+
+// ReadStats merges every published worker stats file in dir, returning
+// the sum and how many workers reported.
+func ReadStats(dir string) (workq.CacheStats, int, error) {
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return workq.CacheStats{}, 0, fmt.Errorf("spool: read stats: %w", err)
+	}
+	var sum workq.CacheStats
+	workers := 0
+	for _, e := range names {
+		name := e.Name()
+		if !strings.HasPrefix(name, "stats-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		var s workq.CacheStats
+		if json.Unmarshal(data, &s) == nil {
+			sum.Add(s)
+			workers++
+		}
+	}
+	return sum, workers, nil
 }
 
 // Failures returns the error strings of failed tasks, in task order.
