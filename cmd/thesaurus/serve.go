@@ -9,7 +9,9 @@ import (
 
 	"repro/internal/artifact"
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/netq"
+	"repro/internal/workq"
 )
 
 // serveCampaign pre-warms the cache over the TCP work queue: it serves
@@ -31,6 +33,12 @@ func serveCampaign(addr, addrFile string, lease, grace time.Duration,
 		Lease:         lease,
 		CacheDir:      cache.Dir(),
 		StoreArtifact: cache.StoreRawRunOutput,
+		// Streamed artifacts are stored under the key the coordinator
+		// derives from its own task table — the worker-reported key is
+		// untrusted input on an unauthenticated listener and is ignored.
+		TaskKey: func(t workq.Task) (string, error) {
+			return harness.DefaultRunContentKey(t.Profile, t.Design, taskRunOptions(t))
+		},
 	})
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package artifact
 
 import (
+	"crypto/rand"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -307,6 +308,15 @@ func loadOrCompute[T any](c *Cache, key string,
 	for {
 		lf, lerr := os.OpenFile(c.lock(key), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if lerr == nil {
+			// Stamp the lock with a random token: observers fold it into
+			// the lock's identity, so a lock removed and immediately
+			// recreated by a new holder can never inherit an old
+			// observation window — even on filesystems whose timestamp
+			// granularity gives both incarnations the same mtime.
+			var tok [16]byte
+			if _, err := rand.Read(tok[:]); err == nil {
+				lf.Write(tok[:])
+			}
 			lf.Close()
 			defer os.Remove(c.lock(key))
 			// Another process may have finished while we raced for the
@@ -344,10 +354,14 @@ func loadOrCompute[T any](c *Cache, key string,
 }
 
 // lockObservation is one lock file's local sighting: when this process
-// first saw it (monotonic-bearing local time) and the mtime it had then.
+// first saw it (monotonic-bearing local time), the mtime it had then,
+// and the random token its creator wrote into it. mtime and token
+// together are the lock's identity — the token distinguishes two lock
+// incarnations that coarse filesystem timestamps give the same mtime.
 type lockObservation struct {
 	firstSeen time.Time
 	mtime     time.Time
+	token     string
 }
 
 // lockLooksStale reports whether the lock at path has been observed by
@@ -355,13 +369,14 @@ type lockObservation struct {
 // local monotonic one: on a shared filesystem the lock's mtime was
 // written by another machine's clock, so `time.Since(mtime)` would break
 // a live writer's lock when that clock runs behind ours — or never break
-// a crashed writer's lock when it runs ahead. An mtime change (the
-// holder stamping progress) restarts the observation window; the mtime
-// is used only as an identity/progress signal, never compared against
-// our wall clock. The cost of skew immunity is that staleness accrues
-// from first local sight rather than from the crash itself — bounded,
-// and always the safe direction (waiting longer, never breaking a live
-// lock early).
+// a crashed writer's lock when it runs ahead. Any identity change — an
+// mtime change (the holder stamping progress) or a token change (the
+// lock removed and recreated by a new holder, even at an identical
+// mtime) — restarts the observation window; neither is ever compared
+// against our wall clock. The cost of skew immunity is that staleness
+// accrues from first local sight rather than from the crash itself —
+// bounded, and always the safe direction (waiting longer, never
+// breaking a live lock early).
 func (c *Cache) lockLooksStale(path string) bool {
 	st, err := os.Stat(path)
 	if err != nil {
@@ -370,14 +385,17 @@ func (c *Cache) lockLooksStale(path string) bool {
 		c.lockSeen.Delete(path)
 		return false
 	}
+	// Read errors (the lock vanished between stat and read) yield an
+	// empty token, which simply restarts the window — the safe direction.
+	tok, _ := os.ReadFile(path)
 	now := time.Now()
 	if v, ok := c.lockSeen.Load(path); ok {
 		obs := v.(lockObservation)
-		if obs.mtime.Equal(st.ModTime()) {
+		if obs.mtime.Equal(st.ModTime()) && obs.token == string(tok) {
 			return now.Sub(obs.firstSeen) > c.lockStale
 		}
 	}
-	c.lockSeen.Store(path, lockObservation{firstSeen: now, mtime: st.ModTime()})
+	c.lockSeen.Store(path, lockObservation{firstSeen: now, mtime: st.ModTime(), token: string(tok)})
 	return false
 }
 

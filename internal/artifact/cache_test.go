@@ -248,6 +248,44 @@ func TestCacheStaleLockFutureMtime(t *testing.T) {
 	}
 }
 
+// TestCacheRecreatedLockStartsFreshWindow: a lock removed and
+// immediately recreated by a new live holder can land on the same mtime
+// when the filesystem's timestamp granularity is coarse. Identity by
+// (path, mtime) alone would let the new lock inherit the old
+// observation window and be broken early; the random token the creator
+// writes distinguishes the two incarnations, so the window restarts.
+func TestCacheRecreatedLockStartsFreshWindow(t *testing.T) {
+	c := testCache(t, 0)
+	c.lockStale = 60 * time.Millisecond
+	lock := c.lock("k")
+	// A coarse-granularity mtime both incarnations will share.
+	mt := time.Now().Add(-time.Minute).Truncate(time.Second)
+	if err := os.WriteFile(lock, []byte("holder-1-token"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Chtimes(lock, mt, mt)
+	if c.lockLooksStale(lock) {
+		t.Fatal("first sighting reported stale")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if !c.lockLooksStale(lock) {
+		t.Fatal("unchanged lock not stale after the observation window")
+	}
+	// The old holder releases; a new live holder recreates the lock with
+	// fresh token content but — coarse timestamps — the identical mtime.
+	if err := os.WriteFile(lock, []byte("holder-2-token"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Chtimes(lock, mt, mt)
+	if c.lockLooksStale(lock) {
+		t.Fatal("recreated lock inherited the previous observation window")
+	}
+	time.Sleep(80 * time.Millisecond)
+	if !c.lockLooksStale(lock) {
+		t.Fatal("recreated lock never went stale under its fresh window")
+	}
+}
+
 // TestCacheLiveLockPastMtimeNotBroken: a live writer on a machine whose
 // clock runs behind holds a lock whose mtime is deep in our past. Raw
 // mtime-age staleness would break it immediately and let two writers

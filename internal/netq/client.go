@@ -3,6 +3,7 @@ package netq
 import (
 	"bufio"
 	"bytes"
+	"encoding/base64"
 	"errors"
 	"fmt"
 	"net"
@@ -183,6 +184,12 @@ func (c *Client) do(m *message, wantReply bool) (*message, error) {
 		}
 		c.conn.SetDeadline(time.Now().Add(c.opt.IOTimeout))
 		err := writeMsg(c.conn, m)
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Nothing entered the socket (WriteFrame refuses before
+			// writing), so the connection is intact — and a retry of the
+			// same message can only fail identically. Permanent.
+			return nil, err
+		}
 		if err == nil && !wantReply {
 			return nil, nil
 		}
@@ -254,6 +261,12 @@ func (c *Client) Heartbeat(t workq.Task) error {
 	return err
 }
 
+// resultEnvelope overestimates every non-artifact byte of a result
+// frame: the JSON field names, the task ID, the key, and the error
+// string. Anything this loose bound plus the base64-expanded artifact
+// leaves under MaxFrame is guaranteed to frame.
+const resultEnvelope = 4096
+
 // Finish implements workq.Queue: deliver the outcome and wait for the
 // coordinator's ack so a crash after Finish can never lose a result
 // silently. An ack carrying an error means the coordinator could not
@@ -262,6 +275,14 @@ func (c *Client) Finish(t workq.Task, out workq.Outcome) error {
 	m := &message{Type: msgResult, ID: t.ID, Key: out.Key, Artifact: out.Artifact}
 	if out.Err != nil {
 		m.Err = out.Err.Error()
+	}
+	// An artifact too large to frame would fail WriteFrame permanently no
+	// matter how often do retries, aborting the whole drain loop. Degrade
+	// to a key-only completion instead: the completion still counts, and
+	// the coordinator recomputes that one cell in-process, exactly as when
+	// the worker had nothing to stream.
+	if len(m.Artifact) > 0 && base64.StdEncoding.EncodedLen(len(m.Artifact))+resultEnvelope > MaxFrame {
+		m.Artifact = nil
 	}
 	reply, err := c.do(m, true)
 	if err != nil {

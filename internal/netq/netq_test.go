@@ -371,11 +371,11 @@ func TestArtifactStreaming(t *testing.T) {
 		t.Fatalf("claim: ok=%v err=%v", ok, err)
 	}
 	payload := bytes.Repeat([]byte{0x42, 0x00, 0x7F}, 1000)
-	if err := cli.Finish(task, workq.Outcome{Key: "k123", Artifact: payload}); err != nil {
+	if err := cli.Finish(task, workq.Outcome{Key: "ab12cd34", Artifact: payload}); err != nil {
 		t.Fatal(err)
 	}
 	mu.Lock()
-	got := stored["k123"]
+	got := stored["ab12cd34"]
 	mu.Unlock()
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("stored %d bytes, want the %d-byte payload intact", len(got), len(payload))
@@ -390,12 +390,215 @@ func TestArtifactStreaming(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("claim: ok=%v err=%v", ok, err)
 	}
-	if err := rcli.Finish(rtask, workq.Outcome{Key: "k", Artifact: []byte{1}}); err != nil {
+	if err := rcli.Finish(rtask, workq.Outcome{Key: "ab", Artifact: []byte{1}}); err != nil {
 		t.Fatal(err)
 	}
 	sum := refuser.Wait(time.Second, nil)
 	if sum.Failed != 1 {
 		t.Fatalf("summary = %+v, want the streamed result refused as a failure", sum)
+	}
+}
+
+// TestStoreKeyDerivedCoordinatorSide: with TaskKey configured the
+// coordinator names streamed artifacts from its own task table; the
+// worker-supplied wire key — here a path-traversal attempt — is ignored.
+func TestStoreKeyDerivedCoordinatorSide(t *testing.T) {
+	var mu sync.Mutex
+	stored := map[string][]byte{}
+	srv := newTestServer(t, testTasks(1), ServerOptions{
+		StoreArtifact: func(key string, data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			stored[key] = append([]byte(nil), data...)
+			return nil
+		},
+		TaskKey: func(task workq.Task) (string, error) {
+			return fmt.Sprintf("derived-%d", task.ID), nil
+		},
+	})
+	cli := dialTest(t, srv, ClientOptions{})
+	task, ok, err := cli.Claim()
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	payload := []byte{0xDE, 0xAD}
+	if err := cli.Finish(task, workq.Outcome{Key: "../../etc/poison", Artifact: payload}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(stored["derived-0"], payload) {
+		t.Fatalf("stored keys = %v, want the artifact under the derived key", stored)
+	}
+	if len(stored) != 1 {
+		t.Fatalf("stored keys = %v, want exactly the derived key (wire key ignored)", stored)
+	}
+}
+
+// TestMalformedWireKeyRejected: without TaskKey the wire key is used,
+// but only when it has the bare content-hash shape — a traversal path
+// never reaches StoreArtifact; the task fails and recomputes in-process.
+func TestMalformedWireKeyRejected(t *testing.T) {
+	called := false
+	srv := newTestServer(t, testTasks(1), ServerOptions{
+		StoreArtifact: func(key string, data []byte) error {
+			called = true
+			return nil
+		},
+	})
+	cli := dialTest(t, srv, ClientOptions{})
+	task, ok, err := cli.Claim()
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	if err := cli.Finish(task, workq.Outcome{Key: "../../escape", Artifact: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("StoreArtifact called with a malformed key")
+	}
+	sum := srv.Wait(time.Second, nil)
+	if sum.Failed != 1 || !strings.Contains(sum.Failures[0], "malformed artifact key") {
+		t.Fatalf("summary = %+v, want the malformed key refused as a failure", sum)
+	}
+}
+
+// TestUnknownTaskResultIgnored: a result for a task ID the queue never
+// issued must not touch the terminal maps — done/failed sizes drive
+// Terminal, so a bogus ID could otherwise end the campaign early.
+func TestUnknownTaskResultIgnored(t *testing.T) {
+	srv := newTestServer(t, testTasks(2), ServerOptions{})
+	cli := dialTest(t, srv, ClientOptions{})
+	for _, id := range []int{99, 100} {
+		if err := cli.Finish(workq.Task{ID: id}, workq.Outcome{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p := srv.Progress(); p.Done != 0 || p.Failed != 0 || p.Terminal() {
+		t.Fatalf("progress = %+v after bogus results, want untouched", p)
+	}
+}
+
+// TestStaleFailureDoesNotPinTask: a failure from a worker whose lease
+// was already reclaimed is dropped, so the current holder's later
+// success lands as the task's one terminal state instead of being
+// dup-dropped against a premature failure.
+func TestStaleFailureDoesNotPinTask(t *testing.T) {
+	srv := newTestServer(t, testTasks(1), ServerOptions{Lease: 100 * time.Millisecond})
+	a := dialTest(t, srv, ClientOptions{})
+	b := dialTest(t, srv, ClientOptions{})
+	taskA, ok, err := a.Claim()
+	if err != nil || !ok {
+		t.Fatalf("claim A: ok=%v err=%v", ok, err)
+	}
+	// A goes silent until the lease expires and B re-claims the task.
+	deadline := time.Now().Add(5 * time.Second)
+	var taskB workq.Task
+	for {
+		m, err := b.do(&message{Type: msgClaim}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == msgTask {
+			taskB = *m.Task
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease never re-queued")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// A's stale failure arrives while B is computing: dropped, not final.
+	if err := a.Finish(taskA, workq.Outcome{Err: errors.New("stale boom")}); err != nil {
+		t.Fatal(err)
+	}
+	if p := srv.Progress(); p.Failed != 0 {
+		t.Fatalf("progress = %+v, stale failure marked the task failed", p)
+	}
+	if err := b.Finish(taskB, workq.Outcome{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := srv.Progress(); p.Done != 1 || p.Failed != 0 {
+		t.Fatalf("progress = %+v, want the holder's success recorded", p)
+	}
+}
+
+// TestSuccessOverwritesFailure: the reclaim race in the other order —
+// the current holder fails (recorded), then the original worker's
+// success arrives. The content-addressed success supersedes the failure
+// so the coordinator skips an unnecessary in-process recompute.
+func TestSuccessOverwritesFailure(t *testing.T) {
+	srv := newTestServer(t, testTasks(1), ServerOptions{Lease: 100 * time.Millisecond})
+	a := dialTest(t, srv, ClientOptions{})
+	b := dialTest(t, srv, ClientOptions{})
+	taskA, ok, err := a.Claim()
+	if err != nil || !ok {
+		t.Fatalf("claim A: ok=%v err=%v", ok, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var taskB workq.Task
+	for {
+		m, err := b.do(&message{Type: msgClaim}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == msgTask {
+			taskB = *m.Task
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease never re-queued")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// B holds the lease now, so its failure is recorded...
+	if err := b.Finish(taskB, workq.Outcome{Err: errors.New("boom")}); err != nil {
+		t.Fatal(err)
+	}
+	if p := srv.Progress(); p.Failed != 1 {
+		t.Fatalf("progress = %+v, holder failure not recorded", p)
+	}
+	// ...until A's success arrives and supersedes it.
+	if err := a.Finish(taskA, workq.Outcome{}); err != nil {
+		t.Fatal(err)
+	}
+	if p := srv.Progress(); p.Done != 1 || p.Failed != 0 {
+		t.Fatalf("progress = %+v, want the success to supersede the failure", p)
+	}
+}
+
+// TestOversizeArtifactDegradesToKeyOnly: an artifact whose base64 form
+// cannot fit one frame is dropped before the send — the completion
+// still lands (key-only; the coordinator recomputes that cell) and the
+// drain loop survives instead of dying on a permanent WriteFrame error.
+func TestOversizeArtifactDegradesToKeyOnly(t *testing.T) {
+	var mu sync.Mutex
+	storedKeys := []string{}
+	srv := newTestServer(t, testTasks(1), ServerOptions{
+		StoreArtifact: func(key string, data []byte) error {
+			mu.Lock()
+			defer mu.Unlock()
+			storedKeys = append(storedKeys, key)
+			return nil
+		},
+	})
+	cli := dialTest(t, srv, ClientOptions{})
+	task, ok, err := cli.Claim()
+	if err != nil || !ok {
+		t.Fatalf("claim: ok=%v err=%v", ok, err)
+	}
+	// Base64 expands 4/3×, so this cannot fit MaxFrame after encoding.
+	huge := make([]byte, MaxFrame-1<<20)
+	if err := cli.Finish(task, workq.Outcome{Key: "abcd1234", Artifact: huge}); err != nil {
+		t.Fatalf("oversize artifact aborted Finish: %v", err)
+	}
+	if p := srv.Progress(); p.Done != 1 || p.Failed != 0 {
+		t.Fatalf("progress = %+v, want a key-only completion", p)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(storedKeys) != 0 {
+		t.Fatalf("stored %v, want no artifact stored for the degraded completion", storedKeys)
 	}
 }
 

@@ -29,12 +29,20 @@
 // length, then the JSON-encoded message. The first exchange is a
 // versioned handshake (hello/welcome); a proto-version mismatch is
 // rejected explicitly, never silently misparsed.
+//
+// The listener is unauthenticated: bind it to loopback or a trusted
+// network only. The server is defensive about worker input — frames are
+// length-capped, results for unknown task IDs are ignored, and streamed
+// artifacts are stored under coordinator-derived keys (ServerOptions.
+// TaskKey), never under the worker-reported name — but it cannot tell a
+// wrong result from a right one; see docs/distribution.md's trust model.
 package netq
 
 import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -105,10 +113,16 @@ type message struct {
 	WaitMS int `json:"wait_ms,omitempty"`
 }
 
-// WriteFrame writes one length-prefixed frame.
+// ErrFrameTooLarge marks a payload no frame can carry. It is permanent
+// for a given message — retrying the identical send fails identically —
+// so transports treat it as non-retryable.
+var ErrFrameTooLarge = errors.New("netq: frame exceeds MaxFrame")
+
+// WriteFrame writes one length-prefixed frame. An oversized payload is
+// refused before any byte reaches w, so the stream stays framed.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("netq: frame payload %d bytes exceeds MaxFrame %d", len(payload), MaxFrame)
+		return fmt.Errorf("%w: payload %d bytes (max %d)", ErrFrameTooLarge, len(payload), MaxFrame)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))

@@ -41,6 +41,17 @@ type ServerOptions struct {
 	// the codec). nil refuses streamed results — completions then carry
 	// keys only, which is correct when every worker shares the cache.
 	StoreArtifact func(key string, data []byte) error
+
+	// TaskKey derives, coordinator-side, the content key a streamed
+	// artifact for task t must be stored under. The listener is
+	// unauthenticated, so the key a worker reports on the wire is
+	// untrusted input: when TaskKey is set it is ignored entirely for
+	// storage — a hostile or confused worker can neither traverse paths
+	// (StoreArtifact implementations join the key into a directory) nor
+	// poison a different task's cache entry. nil falls back to the wire
+	// key, which is then required to look like a bare content hash
+	// (lowercase hex) before it gets anywhere near a filename.
+	TaskKey func(t workq.Task) (string, error)
 }
 
 // Progress is a point-in-time snapshot of the queue's state.
@@ -91,6 +102,7 @@ type Server struct {
 
 	mu           sync.Mutex
 	conns        map[net.Conn]bool
+	tasks        map[int]workq.Task // every task ever loaded, by ID
 	pending      []workq.Task
 	leases       map[int]*lease
 	done         map[int]bool
@@ -129,11 +141,15 @@ func NewServer(addr string, tasks []workq.Task, opt ServerOptions) (*Server, err
 		ln:      ln,
 		stop:    make(chan struct{}),
 		conns:   map[net.Conn]bool{},
+		tasks:   make(map[int]workq.Task, len(tasks)),
 		pending: append([]workq.Task(nil), tasks...),
 		leases:  map[int]*lease{},
 		done:    map[int]bool{},
 		failed:  map[int]string{},
 		total:   len(tasks),
+	}
+	for _, t := range tasks {
+		s.tasks[t.ID] = t
 	}
 	if opt.CacheDir != "" {
 		if err := s.writeToken(); err != nil {
@@ -331,17 +347,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 
 	deadline := func() { conn.SetReadDeadline(time.Now().Add(s.opt.IdleTimeout)) }
+	// send bounds every reply write too: a peer that stops reading with a
+	// full socket buffer would otherwise pin this goroutine (and the
+	// worker count Wait's degrade logic watches) until Close.
+	send := func(m *message) error {
+		conn.SetWriteDeadline(time.Now().Add(s.opt.IdleTimeout))
+		return writeMsg(conn, m)
+	}
 	deadline()
 	hello, err := readMsg(br)
 	if err != nil || hello.Type != msgHello {
 		return
 	}
 	if hello.Proto != ProtoVersion {
-		writeMsg(conn, &message{Type: msgReject, Proto: ProtoVersion,
+		send(&message{Type: msgReject, Proto: ProtoVersion,
 			Err: fmt.Sprintf("netq: protocol version skew: coordinator speaks v%d, worker spoke v%d", ProtoVersion, hello.Proto)})
 		return
 	}
-	if err := writeMsg(conn, &message{Type: msgWelcome, Proto: ProtoVersion,
+	if err := send(&message{Type: msgWelcome, Proto: ProtoVersion,
 		TokenFile: s.tokenFile, Token: s.token}); err != nil {
 		return
 	}
@@ -371,14 +394,14 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		switch m.Type {
 		case msgClaim:
-			if err := writeMsg(conn, s.claim(conn)); err != nil {
+			if err := send(s.claim(conn)); err != nil {
 				return
 			}
 		case msgHeartbeat:
 			s.heartbeat(conn, m.ID)
 		case msgResult:
-			ack := s.result(m)
-			if err := writeMsg(conn, ack); err != nil {
+			ack := s.result(conn, m)
+			if err := send(ack); err != nil {
 				return
 			}
 		case msgGoodbye:
@@ -432,23 +455,46 @@ func (s *Server) heartbeat(conn net.Conn, id int) {
 	}
 }
 
-// result records one completion. The first terminal result for a task
+// result records one completion. The first successful result for a task
 // wins; later duplicates (a reclaimed lease raced its original worker)
 // are acknowledged and dropped, keeping completion exactly-once no
-// matter how many workers finish the same task.
-func (s *Server) result(m *message) *message {
+// matter how many workers finish the same task. Failures are narrower:
+// only the current lease holder may fail a task (a stale worker's error
+// must not pin the task failed while the live holder is still
+// computing), and a success always supersedes an earlier failure — the
+// result is content-addressed, so whoever computed it computed the same
+// thing.
+func (s *Server) result(conn net.Conn, m *message) *message {
 	s.mu.Lock()
-	if s.done[m.ID] || s.failed[m.ID] != "" {
+	task, known := s.tasks[m.ID]
+	if !known {
+		// A result for a task this queue never issued must not touch the
+		// terminal maps: their sizes drive Progress.Terminal, so a bogus
+		// ID could end Wait with real tasks still outstanding.
+		s.dupResults++
+		s.mu.Unlock()
+		return &message{Type: msgAck, ID: m.ID, Err: "unknown task"}
+	}
+	if s.done[m.ID] {
 		s.dupResults++
 		s.mu.Unlock()
 		return &message{Type: msgAck, ID: m.ID}
 	}
-	delete(s.leases, m.ID)
 	if m.Err != "" {
-		s.failed[m.ID] = m.Err
+		if l := s.leases[m.ID]; l != nil && l.conn == conn {
+			delete(s.leases, m.ID)
+			s.failed[m.ID] = m.Err
+		} else {
+			// Reclaimed lease: the task is pending again or another worker
+			// holds it now. Dropping the stale failure leaves the live
+			// attempt free to succeed instead of being dup-dropped against
+			// a terminal failed state.
+			s.dupResults++
+		}
 		s.mu.Unlock()
 		return &message{Type: msgAck, ID: m.ID}
 	}
+	delete(s.leases, m.ID)
 	s.mu.Unlock()
 
 	// Store outside the lock: artifact writes hit the disk. Idempotence
@@ -458,19 +504,59 @@ func (s *Server) result(m *message) *message {
 		if s.opt.StoreArtifact == nil {
 			return s.failResult(m.ID, "coordinator does not accept streamed artifacts")
 		}
-		if err := s.opt.StoreArtifact(m.Key, m.Artifact); err != nil {
+		key, err := s.storeKey(task, m.Key)
+		if err != nil {
+			return s.failResult(m.ID, err.Error())
+		}
+		if err := s.opt.StoreArtifact(key, m.Artifact); err != nil {
 			return s.failResult(m.ID, fmt.Sprintf("store streamed artifact: %v", err))
 		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.done[m.ID] || s.failed[m.ID] != "" {
+	if s.done[m.ID] {
 		s.dupResults++
 	} else {
+		delete(s.failed, m.ID) // success supersedes an earlier failure
 		s.done[m.ID] = true
 	}
 	return &message{Type: msgAck, ID: m.ID}
+}
+
+// storeKey names the cache entry a streamed artifact lands under. With
+// TaskKey configured the key is derived from the coordinator's own copy
+// of the task and the worker-reported wire key is ignored; without it
+// the wire key is used but must have the bare content-hash shape.
+func (s *Server) storeKey(t workq.Task, wire string) (string, error) {
+	if s.opt.TaskKey != nil {
+		key, err := s.opt.TaskKey(t)
+		if err != nil {
+			return "", fmt.Errorf("derive artifact key: %v", err)
+		}
+		return key, nil
+	}
+	if !validWireKey(wire) {
+		return "", fmt.Errorf("malformed artifact key %q", wire)
+	}
+	return wire, nil
+}
+
+// validWireKey accepts exactly the shape artifact content keys have —
+// non-empty lowercase hex, bounded length. Everything else (path
+// separators, dots, uppercase, unicode) is rejected before the key gets
+// anywhere near a filepath.Join.
+func validWireKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // failResult marks a completion that could not be recorded; the final
